@@ -1,0 +1,26 @@
+//! Greedy approximation algorithms (Chapter 2 of the paper).
+//!
+//! These are the classical substrates the paper's mining algorithms adapt:
+//!
+//! - [`greedy_set_cover`] — Algorithm 1, the `O(log n)`-approximation for
+//!   minimum set cover (Johnson 1974, Lovász 1975, Chvátal 1979);
+//! - [`UndirectedGraph::greedy_dominating_set`] — Theorem 2.5, graph
+//!   dominating set solved by reduction to set cover;
+//! - [`t_clustering`] — Algorithm 2, Gonzalez's farthest-point clustering, a
+//!   2-approximation for minimum-diameter t-clustering (Gonzalez 1985);
+//! - [`kmeans`] — Algorithm 4, Lloyd's k-means iteration;
+//! - [`DistanceMatrix`] — symmetric pairwise distances with metric-property
+//!   verification (the paper checks the triangle inequality experimentally
+//!   in Section 5.3.2).
+
+mod dist;
+mod graph;
+mod kmeans;
+mod set_cover;
+mod t_clustering;
+
+pub use dist::{DistanceMatrix, MetricViolation};
+pub use graph::UndirectedGraph;
+pub use kmeans::{kmeans, KMeansResult};
+pub use set_cover::{greedy_set_cover, greedy_weighted_set_cover, CoverResult};
+pub use t_clustering::{t_clustering, Clustering};

@@ -1,0 +1,189 @@
+//! Gonzalez's farthest-point t-clustering (Algorithm 2 of the paper).
+
+use crate::dist::DistanceMatrix;
+
+/// A t-clustering: `t` designated centers and a per-point assignment to its
+/// closest center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Point indices chosen as cluster centers, in pick order.
+    pub centers: Vec<usize>,
+    /// `assignment[p]` = index into `centers` of point `p`'s cluster.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// The members of cluster `c` (an index into `centers`).
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed like `centers`.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// The diameter of the clustering: the maximum pairwise distance between
+    /// two points sharing a cluster (Definition 2.6). Zero when every
+    /// cluster is a singleton.
+    pub fn diameter(&self, d: &DistanceMatrix) -> f64 {
+        let mut diam: f64 = 0.0;
+        for i in 0..self.assignment.len() {
+            for j in (i + 1)..self.assignment.len() {
+                if self.assignment[i] == self.assignment[j] {
+                    diam = diam.max(d.get(i, j));
+                }
+            }
+        }
+        diam
+    }
+
+    /// Per-cluster diameters, indexed like `centers`.
+    pub fn cluster_diameters(&self, d: &DistanceMatrix) -> Vec<f64> {
+        let mut diams = vec![0.0f64; self.centers.len()];
+        for i in 0..self.assignment.len() {
+            for j in (i + 1)..self.assignment.len() {
+                if self.assignment[i] == self.assignment[j] {
+                    let c = self.assignment[i];
+                    diams[c] = diams[c].max(d.get(i, j));
+                }
+            }
+        }
+        diams
+    }
+}
+
+/// Gonzalez's greedy t-clustering (Algorithm 2): pick an arbitrary first
+/// center (`first`, default point 0), then repeatedly pick the point
+/// farthest from all existing centers, until `t` centers exist; finally
+/// assign every point to its closest center.
+///
+/// When the distances satisfy the metric properties, the resulting diameter
+/// is at most twice optimal (Theorem 2.7).
+///
+/// `t` is clamped to `1..=n`. Ties in farthness and closest-center
+/// assignment break toward the lower index.
+///
+/// # Panics
+/// Panics when the matrix is empty.
+pub fn t_clustering(d: &DistanceMatrix, t: usize, first: Option<usize>) -> Clustering {
+    let n = d.len();
+    assert!(n > 0, "cannot cluster zero points");
+    let t = t.clamp(1, n);
+    let first = first.unwrap_or(0).min(n - 1);
+
+    let mut centers = Vec::with_capacity(t);
+    centers.push(first);
+    // min_dist[p] = distance from p to its closest chosen center.
+    let mut min_dist: Vec<f64> = (0..n).map(|p| d.get(p, first)).collect();
+    let mut assignment: Vec<usize> = vec![0; n];
+
+    while centers.len() < t {
+        // The point maximizing min_j d(p, μ_j).
+        let (far, _) = min_dist
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))
+            .expect("n > 0");
+        let c = centers.len();
+        centers.push(far);
+        for p in 0..n {
+            let dp = d.get(p, far);
+            if dp < min_dist[p] {
+                min_dist[p] = dp;
+                assignment[p] = c;
+            }
+        }
+    }
+    Clustering {
+        centers,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated groups on a line: {0,1,2} near 0 and {3,4,5}
+    /// near 100.
+    fn two_groups() -> DistanceMatrix {
+        let pts: Vec<Vec<f64>> = [0.0, 1.0, 2.0, 100.0, 101.0, 102.0]
+            .iter()
+            .map(|&x| vec![x])
+            .collect();
+        DistanceMatrix::euclidean(&pts)
+    }
+
+    #[test]
+    fn separates_obvious_groups() {
+        let d = two_groups();
+        let c = t_clustering(&d, 2, None);
+        assert_eq!(c.centers.len(), 2);
+        // One center per group.
+        let g0: Vec<usize> = c.members(c.assignment[0]);
+        assert_eq!(g0, vec![0, 1, 2]);
+        assert!(c.diameter(&d) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_approximation_on_groups() {
+        let d = two_groups();
+        let c = t_clustering(&d, 2, None);
+        // OPT diameter = 2 (each group clustered together).
+        assert!(c.diameter(&d) <= 2.0 * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn t_equals_n_gives_singletons() {
+        let d = two_groups();
+        let c = t_clustering(&d, 6, None);
+        assert_eq!(c.centers.len(), 6);
+        assert_eq!(c.diameter(&d), 0.0);
+        assert_eq!(c.sizes(), vec![1; 6]);
+    }
+
+    #[test]
+    fn t_one_is_a_single_cluster() {
+        let d = two_groups();
+        let c = t_clustering(&d, 1, None);
+        assert_eq!(c.centers, vec![0]);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+        assert!((c.diameter(&d) - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_center_is_respected() {
+        let d = two_groups();
+        let c = t_clustering(&d, 2, Some(4));
+        assert_eq!(c.centers[0], 4);
+        // Farthest point from 4 is 0.
+        assert_eq!(c.centers[1], 0);
+    }
+
+    #[test]
+    fn oversized_t_and_first_are_clamped() {
+        let d = two_groups();
+        let c = t_clustering(&d, 99, Some(99));
+        assert_eq!(c.centers.len(), 6);
+        assert_eq!(c.centers[0], 5);
+    }
+
+    #[test]
+    fn cluster_diameters_per_cluster() {
+        let d = two_groups();
+        let c = t_clustering(&d, 2, None);
+        let diams = c.cluster_diameters(&d);
+        assert_eq!(diams.len(), 2);
+        assert!(diams.iter().all(|&x| (x - 2.0).abs() < 1e-9));
+    }
+}

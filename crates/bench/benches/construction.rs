@@ -1,0 +1,68 @@
+//! Section 5.1.2 benchmark: association-hypergraph construction — the cost
+//! of computing every directed-edge and 2-to-1 hyperedge ACV with the
+//! γ-significance filter, across universe size and value-domain size `k`
+//! (C1 uses k = 3, C2 uses k = 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypermine_core::{AssociationModel, ModelConfig};
+use hypermine_market::{discretize_market, Market, SimConfig, Universe};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &tickers in &[20usize, 40, 60] {
+        let market = Market::simulate(
+            Universe::sp500(tickers),
+            &SimConfig {
+                n_days: 2 * 252,
+                seed: 5,
+                ..SimConfig::default()
+            },
+        );
+        for &k in &[3u8, 5] {
+            let disc = discretize_market(&market, k, None);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{tickers}"), format!("k{k}")),
+                &disc.database,
+                |b, db| {
+                    b.iter(|| {
+                        AssociationModel::build(black_box(db), &ModelConfig::c1()).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_edge_acv_kernels(c: &mut Criterion) {
+    use hypermine_core::CountingEngine;
+    use hypermine_data::AttrId;
+    let market = Market::simulate(
+        Universe::sp500(40),
+        &SimConfig {
+            n_days: 4 * 252,
+            seed: 6,
+            ..SimConfig::default()
+        },
+    );
+    let disc = discretize_market(&market, 3, None);
+    let engine = CountingEngine::new(&disc.database);
+    let a = AttrId::new(0);
+    let b_attr = AttrId::new(1);
+    let h = AttrId::new(2);
+    c.bench_function("kernel/edge_acv", |bch| {
+        bch.iter(|| black_box(engine.edge_acv(black_box(a), black_box(h))))
+    });
+    let pair = engine.pair_rows(a, b_attr);
+    c.bench_function("kernel/hyper_acv", |bch| {
+        bch.iter(|| black_box(engine.hyper_acv(black_box(&pair), black_box(h))))
+    });
+    c.bench_function("kernel/pair_rows", |bch| {
+        bch.iter(|| black_box(engine.pair_rows(black_box(a), black_box(b_attr))))
+    });
+}
+
+criterion_group!(benches, bench_construction, bench_edge_acv_kernels);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks regenerating the paper's figures:
+//!
+//! - Figure 5.1: weighted degree statistics over the hypergraph;
+//! - Figure 5.2: in-/out-similarity and Euclidean similarity per pair;
+//! - Figure 5.3: similarity-graph construction + Gonzalez t-clustering;
+//! - Figure 5.4: one expanding-window step (model build + dominator +
+//!   classifier evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermine_bench::fixture;
+use hypermine_core::{cluster_attributes, euclidean_similarity, similarity_distance_matrix};
+use hypermine_data::AttrId;
+use hypermine_hypergraph::stats::DegreeStats;
+use std::hint::black_box;
+
+fn bench_fig_5_1_degrees(c: &mut Criterion) {
+    let f = fixture(60, 2 * 252, 3, 9);
+    c.bench_function("fig_5_1/degree_stats", |b| {
+        b.iter(|| black_box(DegreeStats::compute(f.model.hypergraph())))
+    });
+}
+
+fn bench_fig_5_2_similarity(c: &mut Criterion) {
+    let f = fixture(40, 2 * 252, 3, 9);
+    let a0 = AttrId::new(0);
+    let a1 = AttrId::new(1);
+    c.bench_function("fig_5_2/in_out_similarity_pair", |b| {
+        b.iter(|| {
+            black_box(f.model.in_similarity(black_box(a0), black_box(a1)));
+            black_box(f.model.out_similarity(black_box(a0), black_box(a1)));
+        })
+    });
+    let deltas = f.market.deltas();
+    c.bench_function("fig_5_2/euclidean_similarity_pair", |b| {
+        b.iter(|| black_box(euclidean_similarity(black_box(&deltas[0]), black_box(&deltas[1]))))
+    });
+}
+
+fn bench_fig_5_3_clustering(c: &mut Criterion) {
+    let f = fixture(40, 2 * 252, 3, 9);
+    let attrs: Vec<AttrId> = f.model.attrs().collect();
+    let mut group = c.benchmark_group("fig_5_3");
+    group.sample_size(10);
+    group.bench_function("similarity_graph", |b| {
+        b.iter(|| black_box(similarity_distance_matrix(&f.model, black_box(&attrs))))
+    });
+    let t = f.market.universe().used_subsectors();
+    group.bench_function("t_clustering_full", |b| {
+        b.iter(|| black_box(cluster_attributes(&f.model, black_box(&attrs), t, None)))
+    });
+    group.finish();
+}
+
+fn bench_fig_5_4_window(c: &mut Criterion) {
+    use hypermine_experiments::dominator_tables::DominatorAlgorithm;
+    use hypermine_experiments::fig_5_4::expanding_windows;
+    use hypermine_experiments::{Scale, Scenario};
+    let scenario = Scenario::new(
+        Scale {
+            tickers: 30,
+            years: 3,
+        },
+        10,
+    );
+    let mut group = c.benchmark_group("fig_5_4");
+    group.sample_size(10);
+    group.bench_function("expanding_windows", |b| {
+        b.iter(|| {
+            black_box(expanding_windows(
+                black_box(&scenario),
+                DominatorAlgorithm::DominatingSet,
+                0.4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig_5_1_degrees,
+    bench_fig_5_2_similarity,
+    bench_fig_5_3_clustering,
+    bench_fig_5_4_window
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Benchmarks regenerating the paper's tables:
+//!
+//! - Table 5.1/5.2: best-in-edge and best-in-hyperedge queries per subject;
+//! - Tables 5.3/5.4: Algorithm 5 and Algorithm 6 dominators on the
+//!   ACV-thresholded hypergraph, plus the association-based classifier
+//!   evaluation that fills the confidence columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypermine_bench::fixture;
+use hypermine_core::{
+    attr_of, dominating_adaptation, node_of, set_cover_adaptation, AssociationClassifier,
+    SetCoverOptions, StopRule,
+};
+use hypermine_data::AttrId;
+use hypermine_hypergraph::NodeId;
+use std::hint::black_box;
+
+fn bench_table_5_1_queries(c: &mut Criterion) {
+    let f = fixture(40, 2 * 252, 3, 7);
+    c.bench_function("table_5_1/best_in_edges_all_subjects", |b| {
+        b.iter(|| {
+            for a in f.model.attrs() {
+                black_box(f.model.best_in_edge(a));
+                black_box(f.model.best_in_hyperedge(a));
+            }
+        })
+    });
+}
+
+fn bench_table_5_2_constituents(c: &mut Criterion) {
+    let f = fixture(40, 2 * 252, 3, 7);
+    c.bench_function("table_5_2/raw_acv_lookups", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for x in f.model.attrs() {
+                for y in f.model.attrs() {
+                    if x != y {
+                        sum += f.model.raw_edge_acv(x, y);
+                    }
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_dominators(c: &mut Criterion) {
+    let f = fixture(50, 2 * 252, 3, 8);
+    let thr = f.model.acv_percentile_threshold(0.4).unwrap();
+    let filtered = f.model.filter_by_acv(thr);
+    let nodes: Vec<NodeId> = f.model.attrs().map(node_of).collect();
+    let mut group = c.benchmark_group("tables_5_3_5_4");
+    group.sample_size(20);
+    group.bench_function("algorithm5_dominating_set", |b| {
+        b.iter(|| {
+            black_box(dominating_adaptation(
+                filtered.hypergraph(),
+                black_box(&nodes),
+                StopRule::NoCrossGain,
+            ))
+        })
+    });
+    group.bench_function("algorithm6_set_cover", |b| {
+        b.iter(|| {
+            black_box(set_cover_adaptation(
+                filtered.hypergraph(),
+                black_box(&nodes),
+                &SetCoverOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let f = fixture(50, 2 * 252, 3, 8);
+    let thr = f.model.acv_percentile_threshold(0.4).unwrap();
+    let filtered = f.model.filter_by_acv(thr);
+    let nodes: Vec<NodeId> = f.model.attrs().map(node_of).collect();
+    let dom = dominating_adaptation(filtered.hypergraph(), &nodes, StopRule::NoCrossGain);
+    let dominator: Vec<AttrId> = dom.dominator.iter().map(|&n| attr_of(n)).collect();
+    let targets: Vec<AttrId> = f
+        .model
+        .attrs()
+        .filter(|a| !dominator.contains(a))
+        .collect();
+    let mut group = c.benchmark_group("classifier");
+    group.sample_size(20);
+    group.bench_function("construction", |b| {
+        b.iter(|| black_box(AssociationClassifier::new(&filtered, black_box(&dominator))))
+    });
+    let clf = AssociationClassifier::new(&filtered, &dominator);
+    group.bench_function("evaluate_in_sample", |b| {
+        b.iter(|| black_box(clf.evaluate(&f.disc.database, black_box(&targets))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_5_1_queries,
+    bench_table_5_2_constituents,
+    bench_dominators,
+    bench_classifier
+);
+criterion_main!(benches);

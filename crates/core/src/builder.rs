@@ -1,0 +1,236 @@
+//! Association-hypergraph construction (Section 3.2.1).
+
+use crate::config::ModelConfig;
+use crate::counting::CountingEngine;
+use crate::model::{node_of, AssociationModel};
+use hypermine_data::{AttrId, Database};
+use hypermine_hypergraph::DirectedHypergraph;
+
+pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
+    let engine = CountingEngine::new(db);
+    let n = db.num_attrs();
+    let attrs: Vec<AttrId> = db.attrs().collect();
+
+    let baseline: Vec<f64> = attrs.iter().map(|&h| engine.baseline_acv(h)).collect();
+    let majority: Vec<_> = attrs
+        .iter()
+        .map(|&a| db.majority_value(a).map(|(v, _)| v))
+        .collect();
+
+    // Pass 1: every ordered pair's directed-edge ACV. The raw ACV matrix is
+    // retained in full — the γ tests for 2-to-1 edges need it.
+    let mut raw_edge_acv = vec![0.0f64; n * n];
+    let mut graph = DirectedHypergraph::new(n);
+    for &t in &attrs {
+        for &h in &attrs {
+            if t == h {
+                continue;
+            }
+            let acv = engine.edge_acv(t, h);
+            raw_edge_acv[t.index() * n + h.index()] = acv;
+            if acv > 0.0 && acv >= cfg.gamma_edge * baseline[h.index()] {
+                graph
+                    .add_edge(&[node_of(t)], &[node_of(h)], acv)
+                    .expect("distinct ordered pairs are valid unique edges");
+            }
+        }
+    }
+
+    // Pass 2: all (unordered pair, head) combinations, parallel over pairs.
+    if cfg.with_hyperedges && n >= 3 {
+        let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((attrs[i], attrs[j]));
+            }
+        }
+        let threads = cfg.effective_threads().min(pairs.len()).max(1);
+        let chunk = pairs.len().div_ceil(threads);
+        // Kept candidates: (a, b, h, acv).
+        let candidates: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for slice in pairs.chunks(chunk) {
+                    let engine = &engine;
+                    let raw = &raw_edge_acv;
+                    let attrs = &attrs;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &(a, b) in slice {
+                            let pair = engine.pair_rows(a, b);
+                            for &h in attrs {
+                                if h == a || h == b {
+                                    continue;
+                                }
+                                let floor = raw[a.index() * n + h.index()]
+                                    .max(raw[b.index() * n + h.index()]);
+                                let acv = engine.hyper_acv(&pair, h);
+                                if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
+                                    out.push((a, b, h, acv));
+                                }
+                            }
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+        // Chunks are contiguous pair ranges, so appending in chunk order
+        // keeps edge ids deterministic regardless of thread count.
+        for chunk in candidates {
+            for (a, b, h, acv) in chunk {
+                graph
+                    .add_edge(&[node_of(a), node_of(b)], &[node_of(h)], acv)
+                    .expect("distinct (pair, head) combinations are valid unique edges");
+            }
+        }
+    }
+
+    AssociationModel {
+        graph,
+        db: db.clone(),
+        k: db.k(),
+        baseline,
+        majority,
+        raw_edge_acv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AssociationModel;
+    use hypermine_data::Value;
+
+    /// Deterministic multi-attribute fixture with mixed association
+    /// strengths.
+    fn db(n_attrs: usize, n_obs: usize) -> Database {
+        let mut cols = Vec::with_capacity(n_attrs);
+        for a in 0..n_attrs {
+            cols.push(
+                (0..n_obs)
+                    .map(|o| {
+                        // Attributes 0/1 track each other; the rest cycle at
+                        // attribute-specific periods.
+                        let v = match a {
+                            0 => o % 3,
+                            1 => (o + usize::from(o % 17 == 0)) % 3,
+                            _ => (o / (a + 1)) % 3,
+                        };
+                        (v + 1) as Value
+                    })
+                    .collect(),
+            );
+        }
+        Database::from_columns(
+            (0..n_attrs).map(|i| format!("A{i}")).collect(),
+            3,
+            cols,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_model() {
+        let d = db(8, 240);
+        let base = ModelConfig {
+            threads: 1,
+            ..ModelConfig::default()
+        };
+        let m1 = AssociationModel::build(&d, &base).unwrap();
+        for threads in [2, 3, 7] {
+            let cfg = ModelConfig {
+                threads,
+                ..ModelConfig::default()
+            };
+            let m = AssociationModel::build(&d, &cfg).unwrap();
+            assert_eq!(
+                m.hypergraph().num_edges(),
+                m1.hypergraph().num_edges(),
+                "threads = {threads}"
+            );
+            for (id, e) in m.hypergraph().edges() {
+                let e1 = m1.hypergraph().edge(id);
+                assert_eq!(e.tail(), e1.tail());
+                assert_eq!(e.head(), e1.head());
+                assert_eq!(e.weight(), e1.weight());
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_filter_is_sound() {
+        // Every kept edge must actually satisfy its γ inequality.
+        let d = db(6, 300);
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let tables = m.tables();
+        for (id, e) in m.hypergraph().edges() {
+            let t = tables.table(id);
+            let head = t.head();
+            match t.tail() {
+                [a] => {
+                    assert!(
+                        e.weight() + 1e-12 >= 1.15 * m.baseline_acv(head),
+                        "edge {a:?}->{head:?}"
+                    );
+                }
+                [a, b] => {
+                    let floor = m.raw_edge_acv(*a, head).max(m.raw_edge_acv(*b, head));
+                    assert!(e.weight() + 1e-12 >= 1.05 * floor);
+                }
+                other => panic!("unexpected tail {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weights_match_recomputed_table_acvs() {
+        let d = db(5, 200);
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let tables = m.tables();
+        for (id, e) in m.hypergraph().edges() {
+            assert!((tables.table(id).acv() - e.weight()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn two_attr_database_has_no_hyperedges() {
+        let d = db(2, 60);
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        assert_eq!(m.stats().num_hyperedges, 0);
+    }
+
+    #[test]
+    fn empty_database_builds_empty_model() {
+        let d = Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            vec![vec![], vec![], vec![]],
+        )
+        .unwrap();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        assert_eq!(m.hypergraph().num_edges(), 0);
+        assert_eq!(m.baseline_acv(AttrId::new(0)), 0.0);
+        assert_eq!(m.majority_value(AttrId::new(0)), None);
+    }
+
+    #[test]
+    fn constant_attribute_baseline_blocks_edges_into_it() {
+        // h constant: baseline ACV = 1, so no edge into h can satisfy
+        // γ > 1 (ACV <= 1 always).
+        let d = Database::from_columns(
+            vec!["x".into(), "h".into()],
+            2,
+            vec![vec![1, 2, 1, 2, 1, 2], vec![1, 1, 1, 1, 1, 1]],
+        )
+        .unwrap();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        assert!(m.best_in_edge(AttrId::new(1)).is_none());
+        // But the constant attribute predicts x no better than baseline
+        // either; its edge is blocked too (ACV = baseline < γ·baseline).
+        assert!(m.best_in_edge(AttrId::new(0)).is_none());
+    }
+}

@@ -1,0 +1,432 @@
+//! The counting engine behind association-hypergraph construction.
+//!
+//! All ACVs reduce to counts of observations matching value combinations.
+//! [`CountingEngine`] wraps a [`ValueIndex`] (per `(attribute, value)`
+//! observation bitsets):
+//!
+//! - a directed edge `({a}, {h})` needs `k · k` intersection popcounts;
+//! - a 2-to-1 hyperedge `({a,b}, {h})` reuses `k²` cached tail-row bitsets
+//!   (built once per unordered pair via [`CountingEngine::pair_rows`]) and
+//!   performs `k² · k` intersection popcounts per head.
+//!
+//! The `*_acv` methods are allocation-free (the construction sweep touches
+//! tens of millions of `(pair, head)` combinations); the `*_table` methods
+//! materialize full [`AssociationTable`]s and are used on demand — by the
+//! classifier for its relevant edges and by reporting code. A naive recount
+//! path cross-validates the bitset path in tests.
+
+use crate::table::{AssociationTable, RowCounts};
+use hypermine_data::{AttrId, Database, Value, ValueIndex};
+
+/// Cached tail-row bitsets for an unordered attribute pair `{a, b}`:
+/// `k²` bitsets (one per `(v_a, v_b)` assignment) plus their popcounts.
+#[derive(Debug, Clone)]
+pub struct PairRows {
+    a: AttrId,
+    b: AttrId,
+    k: usize,
+    words: usize,
+    bits: Vec<u64>,
+    counts: Vec<usize>,
+}
+
+impl PairRows {
+    /// The bitset for the row `(v_a, v_b)` (1-based values).
+    fn row_bits(&self, va: Value, vb: Value) -> &[u64] {
+        let idx = (va as usize - 1) * self.k + (vb as usize - 1);
+        &self.bits[idx * self.words..(idx + 1) * self.words]
+    }
+
+    /// The popcount for the row `(v_a, v_b)`.
+    fn row_count(&self, va: Value, vb: Value) -> usize {
+        self.counts[(va as usize - 1) * self.k + (vb as usize - 1)]
+    }
+
+    /// The pair this cache was built for.
+    pub fn pair(&self) -> (AttrId, AttrId) {
+        (self.a, self.b)
+    }
+}
+
+/// Support/ACV counting over one database.
+#[derive(Debug)]
+pub struct CountingEngine<'a> {
+    db: &'a Database,
+    idx: ValueIndex,
+}
+
+impl<'a> CountingEngine<'a> {
+    /// Builds the engine (one pass to index the database).
+    pub fn new(db: &'a Database) -> Self {
+        CountingEngine {
+            db,
+            idx: ValueIndex::build(db),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// `ACV(∅, {h})`: the fraction of observations carrying `h`'s most
+    /// frequent value (see the proof of Theorem 3.8 — `Maj(d)/d`). Zero on
+    /// an empty database.
+    pub fn baseline_acv(&self, h: AttrId) -> f64 {
+        match self.db.majority_value(h) {
+            Some((_, count)) => count as f64 / self.db.num_obs() as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Counts head values within a tail bitset, returning
+    /// `(best_head, best_count)`; ties break toward the smaller value.
+    /// The last head value's count is derived (counts partition the tail).
+    fn best_head(&self, tail_bits: &[u64], tail_count: usize, h: AttrId) -> (u8, u32) {
+        if tail_count == 0 {
+            return (0, 0);
+        }
+        let k = self.db.k();
+        let mut best_v = 1u8;
+        let mut best_c = 0usize;
+        let mut seen = 0usize;
+        for vh in 1..=k {
+            let c = if vh < k {
+                let c = self.idx.count_with(tail_bits, h, vh);
+                seen += c;
+                c
+            } else {
+                tail_count - seen
+            };
+            if c > best_c {
+                best_c = c;
+                best_v = vh;
+            }
+        }
+        (best_v, best_c as u32)
+    }
+
+    /// ACV of the directed edge `({a}, {h})` without materializing its
+    /// table.
+    pub fn edge_acv(&self, a: AttrId, h: AttrId) -> f64 {
+        assert_ne!(a, h, "tail and head must differ");
+        let m = self.db.num_obs();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for va in 1..=self.db.k() {
+            let bits = self.idx.bitset(a, va);
+            let count = self.idx.count1(a, va);
+            total += self.best_head(bits, count, h).1 as u64;
+        }
+        total as f64 / m as f64
+    }
+
+    /// Builds the association table of the directed edge `({a}, {h})`.
+    pub fn edge_table(&self, a: AttrId, h: AttrId) -> AssociationTable {
+        assert_ne!(a, h, "tail and head must differ");
+        let k = self.db.k();
+        let mut rows = Vec::with_capacity(k as usize);
+        for va in 1..=k {
+            let bits = self.idx.bitset(a, va);
+            let count = self.idx.count1(a, va);
+            let (best_head, best_count) = self.best_head(bits, count, h);
+            rows.push(RowCounts {
+                tail_count: count as u32,
+                best_count,
+                best_head,
+            });
+        }
+        AssociationTable::from_counts(vec![a], h, k, self.db.num_obs() as u32, rows)
+    }
+
+    /// Precomputes the `k²` tail-row bitsets of the pair `{a, b}`
+    /// (`a ≠ b`); reused across all heads.
+    pub fn pair_rows(&self, a: AttrId, b: AttrId) -> PairRows {
+        assert_ne!(a, b, "pair attributes must differ");
+        let k = self.db.k() as usize;
+        let words = self.idx.words();
+        let mut bits = vec![0u64; k * k * words];
+        let mut counts = vec![0usize; k * k];
+        for va in 1..=self.db.k() {
+            for vb in 1..=self.db.k() {
+                let idx = (va as usize - 1) * k + (vb as usize - 1);
+                let dst = &mut bits[idx * words..(idx + 1) * words];
+                self.idx.intersect_into(a, va, b, vb, dst);
+                counts[idx] = dst.iter().map(|w| w.count_ones() as usize).sum();
+            }
+        }
+        PairRows {
+            a,
+            b,
+            k,
+            words,
+            bits,
+            counts,
+        }
+    }
+
+    /// ACV of the 2-to-1 hyperedge `({a,b}, {h})` without materializing its
+    /// table — the inner loop of the construction sweep.
+    pub fn hyper_acv(&self, pair: &PairRows, h: AttrId) -> f64 {
+        let (a, b) = pair.pair();
+        assert!(h != a && h != b, "head must not be in the tail");
+        let m = self.db.num_obs();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for va in 1..=self.db.k() {
+            for vb in 1..=self.db.k() {
+                let bits = pair.row_bits(va, vb);
+                let count = pair.row_count(va, vb);
+                total += self.best_head(bits, count, h).1 as u64;
+            }
+        }
+        total as f64 / m as f64
+    }
+
+    /// Builds the association table of the 2-to-1 hyperedge `({a,b}, {h})`
+    /// from cached pair rows. Head `h` must differ from both tail
+    /// attributes.
+    pub fn hyper_table(&self, pair: &PairRows, h: AttrId) -> AssociationTable {
+        let (a, b) = pair.pair();
+        assert!(h != a && h != b, "head must not be in the tail");
+        let k = self.db.k();
+        let mut rows = Vec::with_capacity((k as usize) * (k as usize));
+        for va in 1..=k {
+            for vb in 1..=k {
+                let bits = pair.row_bits(va, vb);
+                let count = pair.row_count(va, vb);
+                let (best_head, best_count) = self.best_head(bits, count, h);
+                rows.push(RowCounts {
+                    tail_count: count as u32,
+                    best_count,
+                    best_head,
+                });
+            }
+        }
+        AssociationTable::from_counts(vec![a, b], h, k, self.db.num_obs() as u32, rows)
+    }
+
+    /// Builds the table for an arbitrary tail (size 1 or 2, matching the
+    /// model's `|T| ≤ 2` restriction).
+    ///
+    /// # Panics
+    /// Panics for other tail arities.
+    pub fn table_for(&self, tail: &[AttrId], h: AttrId) -> AssociationTable {
+        match tail {
+            [a] => self.edge_table(*a, h),
+            [a, b] => self.hyper_table(&self.pair_rows(*a, *b), h),
+            _ => panic!("association tables support |T| in {{1, 2}}"),
+        }
+    }
+
+    /// Naive (bitset-free) recount of an association table for arbitrary
+    /// tails; used to cross-validate the fast path in tests.
+    pub fn naive_table(&self, tail: &[AttrId], h: AttrId) -> AssociationTable {
+        assert!(!tail.is_empty(), "tail must be non-empty");
+        assert!(!tail.contains(&h), "head must not be in the tail");
+        let k = self.db.k();
+        let m = self.db.num_obs();
+        let n_rows = (k as usize).pow(tail.len() as u32);
+        // joint[row][head_value - 1]
+        let mut joint = vec![vec![0u32; k as usize]; n_rows];
+        let mut tail_counts = vec![0u32; n_rows];
+        for o in 0..m {
+            let mut row = 0usize;
+            for &t in tail {
+                row = row * k as usize + (self.db.value(t, o) as usize - 1);
+            }
+            tail_counts[row] += 1;
+            joint[row][self.db.value(h, o) as usize - 1] += 1;
+        }
+        let rows = (0..n_rows)
+            .map(|idx| {
+                if tail_counts[idx] == 0 {
+                    return RowCounts {
+                        tail_count: 0,
+                        best_count: 0,
+                        best_head: 0,
+                    };
+                }
+                let (bi, &bc) = joint[idx]
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then(ib.cmp(ia)))
+                    .expect("k >= 1");
+                RowCounts {
+                    tail_count: tail_counts[idx],
+                    best_count: bc,
+                    best_head: (bi + 1) as u8,
+                }
+            })
+            .collect();
+        AssociationTable::from_counts(tail.to_vec(), h, k, m as u32, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermine_data::Database;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    fn db() -> Database {
+        Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[
+                [1, 1, 2],
+                [1, 2, 1],
+                [2, 2, 3],
+                [3, 1, 3],
+                [1, 2, 3],
+                [2, 3, 2],
+                [1, 1, 1],
+                [2, 2, 3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_acv_is_majority_fraction() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        // x: values [1,1,2,3,1,2,1,2] -> majority 1 with 4/8.
+        assert!((e.baseline_acv(a(0)) - 0.5).abs() < 1e-12);
+        // z: [2,1,3,3,3,2,1,3] -> majority 3 with 4/8.
+        assert!((e.baseline_acv(a(2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_table_matches_naive() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        for (x, y) in [(0u32, 1u32), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)] {
+            let fast = e.edge_table(a(x), a(y));
+            let naive = e.naive_table(&[a(x)], a(y));
+            assert_eq!(fast, naive, "edge ({x} -> {y})");
+            assert!((e.edge_acv(a(x), a(y)) - fast.acv()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hyper_table_matches_naive() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        let pair = e.pair_rows(a(0), a(1));
+        let fast = e.hyper_table(&pair, a(2));
+        let naive = e.naive_table(&[a(0), a(1)], a(2));
+        assert_eq!(fast, naive);
+        assert!((e.hyper_acv(&pair, a(2)) - fast.acv()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn table_for_dispatches_by_arity() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        assert_eq!(e.table_for(&[a(0)], a(2)), e.edge_table(a(0), a(2)));
+        assert_eq!(
+            e.table_for(&[a(0), a(1)], a(2)),
+            e.naive_table(&[a(0), a(1)], a(2))
+        );
+    }
+
+    #[test]
+    fn hand_checked_edge_table() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        let t = e.edge_table(a(0), a(2));
+        // x=1 rows: obs 0,1,4,6 -> z values [2,1,3,1]: best z=1 conf 2/4.
+        let r = t.row(&[1]);
+        assert!((r.support - 0.5).abs() < 1e-12);
+        assert_eq!(r.best_head, Some(1));
+        assert!((r.confidence - 0.5).abs() < 1e-12);
+        // x=3: obs 3 -> z=3, conf 1.
+        let r = t.row(&[3]);
+        assert!((r.support - 0.125).abs() < 1e-12);
+        assert_eq!(r.best_head, Some(3));
+        assert_eq!(r.confidence, 1.0);
+    }
+
+    #[test]
+    fn zero_support_rows_contribute_nothing() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        let pair = e.pair_rows(a(0), a(1));
+        let t = e.hyper_table(&pair, a(2));
+        // x=3 ∧ y=3 never occurs.
+        let r = t.row(&[3, 3]);
+        assert_eq!(r.support, 0.0);
+        assert_eq!(r.best_head, None);
+        assert_eq!(r.confidence, 0.0);
+        // ACV is still well defined.
+        assert!(t.acv() > 0.0 && t.acv() <= 1.0);
+    }
+
+    #[test]
+    fn theorem_3_8_monotonicity_on_fixture() {
+        // ACV({a},{h}) >= ACV(∅,{h}) and
+        // ACV({a,b},{h}) >= max over constituents (Theorem 3.8).
+        let d = db();
+        let e = CountingEngine::new(&d);
+        for h in 0..3u32 {
+            for x in 0..3u32 {
+                if x == h {
+                    continue;
+                }
+                let acv1 = e.edge_acv(a(x), a(h));
+                assert!(acv1 + 1e-12 >= e.baseline_acv(a(h)), "({x})->({h})");
+                for y in (x + 1)..3u32 {
+                    if y == h {
+                        continue;
+                    }
+                    let pair = e.pair_rows(a(x), a(y));
+                    let acv2 = e.hyper_acv(&pair, a(h));
+                    let acv_y = e.edge_acv(a(y), a(h));
+                    assert!(
+                        acv2 + 1e-12 >= acv1.max(acv_y),
+                        "({x},{y})->({h}): {acv2} vs {acv1}/{acv_y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_tables() {
+        let d = Database::from_columns(
+            vec!["x".into(), "y".into()],
+            2,
+            vec![vec![], vec![]],
+        )
+        .unwrap();
+        let e = CountingEngine::new(&d);
+        let t = e.edge_table(a(0), a(1));
+        assert_eq!(t.acv(), 0.0);
+        assert_eq!(e.edge_acv(a(0), a(1)), 0.0);
+        assert_eq!(e.baseline_acv(a(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_edge_rejected() {
+        let d = db();
+        CountingEngine::new(&d).edge_table(a(0), a(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "head must not be in the tail")]
+    fn head_in_tail_rejected() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        let pair = e.pair_rows(a(0), a(1));
+        e.hyper_table(&pair, a(0));
+    }
+}

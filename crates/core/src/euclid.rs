@@ -1,0 +1,89 @@
+//! Euclidean similarity between time-series (Section 5.3.1), the baseline
+//! the paper compares association-based similarity against in Figure 5.2.
+
+/// `ES(A, B) = 1 − ½‖normalized(Δ(A)) − normalized(Δ(B))‖`, where
+/// `normalized(V) = V / ‖V‖`.
+///
+/// Normalized vectors lie on the unit sphere, so the distance is in `[0, 2]`
+/// and the similarity in `[0, 1]`; higher means more similar. Degenerate
+/// inputs: two zero (or empty) vectors score 1.0 (indistinguishable), one
+/// zero vector scores 0.5 (the distance to any unit vector is 1).
+pub fn euclidean_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must be equally long");
+    let na = norm(a);
+    let nb = norm(b);
+    match (na > 0.0, nb > 0.0) {
+        (false, false) => 1.0,
+        (false, true) | (true, false) => 0.5,
+        (true, true) => {
+            let mut dist_sq = 0.0;
+            for (&x, &y) in a.iter().zip(b) {
+                let d = x / na - y / nb;
+                dist_sq += d * d;
+            }
+            1.0 - dist_sq.sqrt() / 2.0
+        }
+    }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_score_one() {
+        let a = [0.1, -0.2, 0.3];
+        assert!((euclidean_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        // Scaling does not matter after normalization.
+        let b = [0.2, -0.4, 0.6];
+        assert!((euclidean_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_series_score_zero() {
+        let a = [1.0, 0.0];
+        let b = [-1.0, 0.0];
+        assert!(euclidean_similarity(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_series() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        // Distance √2 → similarity 1 − √2/2 ≈ 0.2929.
+        assert!((euclidean_similarity(&a, &b) - (1.0 - 0.5f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(euclidean_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(euclidean_similarity(&[0.0], &[2.0]), 0.5);
+        assert_eq!(euclidean_similarity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn always_in_unit_interval() {
+        let series = [
+            vec![0.5, -0.1, 0.2, 0.0],
+            vec![-0.3, 0.3, -0.3, 0.3],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ];
+        for a in &series {
+            for b in &series {
+                let s = euclidean_similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn length_mismatch_panics() {
+        euclidean_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

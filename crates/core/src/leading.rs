@@ -1,0 +1,572 @@
+//! Leading indicators via dominators in association hypergraphs
+//! (Chapter 4, Algorithms 5–8).
+//!
+//! A **dominator** for a vertex set `S` is a set `X` such that every
+//! `u ∈ S − X` is the head of some hyperedge whose tail lies entirely inside
+//! `X` (Definition 4.1). The paper's hypothesis: a dominator of the
+//! association hypergraph is a *leading indicator* — knowing the values of
+//! `X` lets us infer (via the association-based classifier) the values of
+//! everything else in `S`.
+//!
+//! Both greedy algorithms run on a (typically ACV-thresholded) hypergraph:
+//!
+//! - [`dominating_adaptation`] (Algorithm 5) scores individual nodes by
+//!   `α(u) = [u ∈ S uncovered] + Σ_v max_{e: u∈T(e), v∈H(e)} w(e)/|T(e)∖Dom|`;
+//! - [`set_cover_adaptation`] (Algorithm 6) scores whole tail sets, with
+//!   Enhancement 1 (tie-break toward fewer new members, Algorithm 7) and
+//!   Enhancement 2 (drop subsumed tail sets, Algorithm 8).
+//!
+//! ### Stopping rule
+//!
+//! As printed, both algorithms loop until `CoveredSet = S`, but because any
+//! uncovered node can always "cover itself" by joining the dominator, a
+//! literal reading degenerates to `X = S` whenever edges run out — yet the
+//! paper's Tables 5.3/5.4 report dominators of 13–40 nodes covering 78–99%
+//! of 346 series. [`StopRule::NoCrossGain`] (the default used by the
+//! experiments) therefore stops once no candidate can contribute anything
+//! beyond self-coverage, and reports the fraction covered;
+//! [`StopRule::FullCover`] is the literal pseudocode.
+
+use hypermine_hypergraph::fx::FxHashSet;
+use hypermine_hypergraph::{one_step_cover, DirectedHypergraph, NodeId};
+
+/// When to stop growing the dominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopRule {
+    /// Stop when no candidate covers anything beyond its own members
+    /// (matches the paper's "percent covered" reporting).
+    #[default]
+    NoCrossGain,
+    /// Keep adding until `S` is fully covered (the literal pseudocode; the
+    /// dominator may absorb every isolated node of `S`).
+    FullCover,
+}
+
+/// Result of a dominator computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominatorResult {
+    /// The dominator `X`, in pick order (Algorithm 6 flattens each chosen
+    /// tail set in node order).
+    pub dominator: Vec<NodeId>,
+    /// Per-node coverage flags after termination.
+    pub covered: Vec<bool>,
+    /// Number of `S` members covered.
+    pub covered_in_s: usize,
+    /// `|S|`.
+    pub s_size: usize,
+    /// Greedy iterations executed.
+    pub iterations: usize,
+}
+
+impl DominatorResult {
+    /// Fraction of `S` covered (the paper's "Percent Covered" column).
+    pub fn percent_covered(&self) -> f64 {
+        if self.s_size == 0 {
+            1.0
+        } else {
+            self.covered_in_s as f64 / self.s_size as f64
+        }
+    }
+
+    /// Dominator size (the paper's "Dominator Size" column).
+    pub fn size(&self) -> usize {
+        self.dominator.len()
+    }
+}
+
+/// Checks Definition 4.1: is `x` a dominator for `s` in `g`?
+pub fn is_dominator(g: &DirectedHypergraph, s: &[NodeId], x: &[NodeId]) -> bool {
+    let covered = one_step_cover(g, x);
+    s.iter().all(|&u| covered[u.index()])
+}
+
+fn make_flags(n: usize, nodes: &[NodeId]) -> Vec<bool> {
+    let mut flags = vec![false; n];
+    for &v in nodes {
+        flags[v.index()] = true;
+    }
+    flags
+}
+
+/// Recomputes coverage: `Covered ∪ {v ∈ S : ∃e, v ∈ H(e), T(e) ⊆ Dom}`.
+/// Returns the number of *new* S members covered.
+fn absorb_dominated(
+    g: &DirectedHypergraph,
+    in_s: &[bool],
+    in_dom: &[bool],
+    covered: &mut [bool],
+) -> usize {
+    let mut gained = 0;
+    for (_, e) in g.edges() {
+        if e.tail().iter().all(|t| in_dom[t.index()]) {
+            for &h in e.head() {
+                if in_s[h.index()] && !covered[h.index()] {
+                    covered[h.index()] = true;
+                    gained += 1;
+                }
+            }
+        }
+    }
+    gained
+}
+
+/// Algorithm 5: the graph-dominating-set adaptation.
+///
+/// Each iteration scores every node `u ∉ Dom` with
+/// `α(u) = [u ∈ S ∖ Covered] + Σ_{v ∈ S ∖ Covered} L(u, v)` where
+/// `L(u, v) = max_{e : u ∈ T(e) ∧ v ∈ H(e)} w(e) / |T(e) ∖ Dom|`, adds the
+/// maximizer (ties toward the smaller node id), and recomputes coverage.
+/// Runs in `O(|S| · |V| · |E|)` worst case.
+pub fn dominating_adaptation(
+    g: &DirectedHypergraph,
+    s: &[NodeId],
+    stop: StopRule,
+) -> DominatorResult {
+    let n = g.num_nodes();
+    let in_s = make_flags(n, s);
+    let s_size = in_s.iter().filter(|&&b| b).count();
+    let mut in_dom = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut covered_in_s = 0usize;
+    let mut dominator = Vec::new();
+    let mut iterations = 0usize;
+    // Scratch for per-head maxima, reset via touch list.
+    let mut best_l = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    while covered_in_s < s_size {
+        iterations += 1;
+        let mut best: Option<(NodeId, f64, f64)> = None; // (node, alpha, self part)
+        for u in g.nodes() {
+            if in_dom[u.index()] {
+                continue;
+            }
+            let self_part = if in_s[u.index()] && !covered[u.index()] {
+                1.0
+            } else {
+                0.0
+            };
+            let mut alpha = self_part;
+            touched.clear();
+            for &eid in g.out_edges(u) {
+                let e = g.edge(eid);
+                let remaining = e.tail().iter().filter(|t| !in_dom[t.index()]).count();
+                if remaining == 0 {
+                    continue; // its heads are already absorbed
+                }
+                let l = e.weight() / remaining as f64;
+                for &v in e.head() {
+                    if in_s[v.index()] && !covered[v.index()] && l > best_l[v.index()] {
+                        if best_l[v.index()] == 0.0 {
+                            touched.push(v.index());
+                        }
+                        best_l[v.index()] = l;
+                    }
+                }
+            }
+            for &t in &touched {
+                alpha += best_l[t];
+                best_l[t] = 0.0;
+            }
+            let better = match best {
+                None => alpha > 0.0,
+                Some((_, ba, _)) => alpha > ba + 1e-12,
+            };
+            if better {
+                best = Some((u, alpha, self_part));
+            }
+        }
+        let Some((u0, alpha, self_part)) = best else {
+            break; // nothing can make progress
+        };
+        if stop == StopRule::NoCrossGain && alpha <= self_part + 1e-12 {
+            break; // only self-coverage left
+        }
+        in_dom[u0.index()] = true;
+        dominator.push(u0);
+        if !covered[u0.index()] {
+            covered[u0.index()] = true;
+            if in_s[u0.index()] {
+                covered_in_s += 1;
+            }
+        }
+        covered_in_s += absorb_dominated(g, &in_s, &in_dom, &mut covered);
+    }
+
+    DominatorResult {
+        dominator,
+        covered,
+        covered_in_s,
+        s_size,
+        iterations,
+    }
+}
+
+/// Options for [`set_cover_adaptation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetCoverOptions {
+    /// Stopping rule (see [`StopRule`]).
+    pub stop: StopRule,
+    /// Enhancement 1 (Algorithm 7): among equal-α candidates prefer the one
+    /// contributing the fewest new members to the dominator.
+    pub enhancement1: bool,
+    /// Enhancement 2 (Algorithm 8): drop tail sets already contained in the
+    /// dominator from future iterations.
+    pub enhancement2: bool,
+}
+
+impl Default for SetCoverOptions {
+    fn default() -> Self {
+        SetCoverOptions {
+            stop: StopRule::NoCrossGain,
+            enhancement1: true,
+            enhancement2: true,
+        }
+    }
+}
+
+/// Algorithm 6: the set-cover adaptation.
+///
+/// Candidates are the distinct tail sets `T* = {T(e) : e ∈ E}`. Each
+/// iteration scores `α(t*) = |{u ∈ t* ∩ (S ∖ Covered)}| + #edges e with
+/// `T(e) ⊆ t*` and an uncovered `S` head (per the pseudocode, every such
+/// edge counts once), picks the maximizer, merges it into the dominator and
+/// recomputes coverage. Zero-α candidates are discarded permanently
+/// (Line 18).
+pub fn set_cover_adaptation(
+    g: &DirectedHypergraph,
+    s: &[NodeId],
+    opts: &SetCoverOptions,
+) -> DominatorResult {
+    let n = g.num_nodes();
+    let in_s = make_flags(n, s);
+    let s_size = in_s.iter().filter(|&&b| b).count();
+
+    // Distinct tail sets, in first-appearance order (determinism).
+    let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
+    let mut tailsets: Vec<Vec<NodeId>> = Vec::new();
+    for (_, e) in g.edges() {
+        if seen.insert(e.tail().to_vec().into_boxed_slice()) {
+            tailsets.push(e.tail().to_vec());
+        }
+    }
+    let mut alive = vec![true; tailsets.len()];
+
+    // Edges indexed by exact tail set, so `T(e) ⊆ t*` enumerates subsets.
+    let mut edges_by_tail: hypermine_hypergraph::fx::FxHashMap<
+        Box<[NodeId]>,
+        Vec<hypermine_hypergraph::EdgeId>,
+    > = Default::default();
+    for (id, e) in g.edges() {
+        edges_by_tail
+            .entry(e.tail().to_vec().into_boxed_slice())
+            .or_default()
+            .push(id);
+    }
+    let subsets_of = |t: &[NodeId]| -> Vec<Box<[NodeId]>> {
+        assert!(t.len() <= 16, "tail sets of up to 16 nodes supported");
+        let mut subs = Vec::new();
+        for mask in 1u32..(1 << t.len()) {
+            let sub: Vec<NodeId> = t
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            subs.push(sub.into_boxed_slice());
+        }
+        subs
+    };
+
+    let mut in_dom = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut covered_in_s = 0usize;
+    let mut dominator = Vec::new();
+    let mut iterations = 0usize;
+
+    while covered_in_s < s_size {
+        iterations += 1;
+        // (index, alpha, new_members, edge_gain)
+        let mut best: Option<(usize, usize, usize, usize)> = None;
+        let mut any_cross = false;
+        for (i, t) in tailsets.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let self_gain = t
+                .iter()
+                .filter(|u| in_s[u.index()] && !covered[u.index()])
+                .count();
+            let mut edge_gain = 0usize;
+            for sub in subsets_of(t) {
+                if let Some(edges) = edges_by_tail.get(&sub) {
+                    for &eid in edges {
+                        for &h in g.edge(eid).head() {
+                            if in_s[h.index()] && !covered[h.index()] {
+                                edge_gain += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            let alpha = self_gain + edge_gain;
+            if alpha == 0 {
+                alive[i] = false; // Line 18
+                continue;
+            }
+            if edge_gain > 0 {
+                any_cross = true;
+            }
+            let new_members = t.iter().filter(|u| !in_dom[u.index()]).count();
+            let better = match best {
+                None => true,
+                Some((_, ba, bm, _)) => {
+                    alpha > ba || (alpha == ba && opts.enhancement1 && new_members < bm)
+                }
+            };
+            if better {
+                best = Some((i, alpha, new_members, edge_gain));
+            }
+        }
+        let Some((bi, _alpha, _members, _edge_gain)) = best else {
+            break; // T* exhausted: the rest of S is unreachable
+        };
+        if opts.stop == StopRule::NoCrossGain && !any_cross {
+            break;
+        }
+        for &u in &tailsets[bi] {
+            if !in_dom[u.index()] {
+                in_dom[u.index()] = true;
+                dominator.push(u);
+            }
+            if !covered[u.index()] {
+                covered[u.index()] = true;
+                if in_s[u.index()] {
+                    covered_in_s += 1;
+                }
+            }
+        }
+        covered_in_s += absorb_dominated(g, &in_s, &in_dom, &mut covered);
+        if opts.enhancement2 {
+            for (i, t) in tailsets.iter().enumerate() {
+                if alive[i] && t.iter().all(|u| in_dom[u.index()]) {
+                    alive[i] = false;
+                }
+            }
+        }
+    }
+
+    DominatorResult {
+        dominator,
+        covered,
+        covered_in_s,
+        s_size,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn all_nodes(g: &DirectedHypergraph) -> Vec<NodeId> {
+        g.nodes().collect()
+    }
+
+    /// A hub graph: node 0 predicts 1..=4 individually.
+    fn hub() -> DirectedHypergraph {
+        let mut g = DirectedHypergraph::new(5);
+        for v in 1..5 {
+            g.add_edge(&[n(0)], &[n(v)], 0.5).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn hub_dominated_by_center_alg5() {
+        let g = hub();
+        let s = all_nodes(&g);
+        let r = dominating_adaptation(&g, &s, StopRule::NoCrossGain);
+        assert_eq!(r.dominator, vec![n(0)]);
+        assert_eq!(r.percent_covered(), 1.0);
+        assert!(is_dominator(&g, &s, &r.dominator));
+    }
+
+    #[test]
+    fn hub_dominated_by_center_alg6() {
+        let g = hub();
+        let s = all_nodes(&g);
+        let r = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        assert_eq!(r.dominator, vec![n(0)]);
+        assert_eq!(r.percent_covered(), 1.0);
+        assert!(is_dominator(&g, &s, &r.dominator));
+    }
+
+    /// Pair tails: {0,1} -> 2, {0,1} -> 3; plus a lone edge 4 -> 5.
+    fn pair_graph() -> DirectedHypergraph {
+        let mut g = DirectedHypergraph::new(6);
+        g.add_edge(&[n(0), n(1)], &[n(2)], 0.6).unwrap();
+        g.add_edge(&[n(0), n(1)], &[n(3)], 0.6).unwrap();
+        g.add_edge(&[n(4)], &[n(5)], 0.9).unwrap();
+        g
+    }
+
+    #[test]
+    fn alg5_assembles_multi_node_tails() {
+        let g = pair_graph();
+        let s = all_nodes(&g);
+        let r = dominating_adaptation(&g, &s, StopRule::FullCover);
+        assert!(is_dominator(&g, &s, &r.dominator));
+        assert!(r.dominator.contains(&n(0)) && r.dominator.contains(&n(1)));
+        assert!(r.dominator.contains(&n(4)));
+        assert_eq!(r.percent_covered(), 1.0);
+    }
+
+    #[test]
+    fn alg6_picks_whole_tailsets() {
+        let g = pair_graph();
+        let s = all_nodes(&g);
+        let r = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        assert!(is_dominator(&g, &s, &r.dominator));
+        // {0,1} covers itself + 2 heads = alpha 4, picked first.
+        assert_eq!(&r.dominator[..2], &[n(0), n(1)]);
+        assert_eq!(r.percent_covered(), 1.0);
+    }
+
+    #[test]
+    fn no_cross_gain_stops_before_absorbing_isolated_nodes() {
+        // Node 3 is isolated: FullCover absorbs it, NoCrossGain reports
+        // partial coverage instead.
+        let mut g = DirectedHypergraph::new(4);
+        g.add_edge(&[n(0)], &[n(1)], 0.9).unwrap();
+        g.add_edge(&[n(0)], &[n(2)], 0.9).unwrap();
+        let s = all_nodes(&g);
+
+        let partial = dominating_adaptation(&g, &s, StopRule::NoCrossGain);
+        assert_eq!(partial.dominator, vec![n(0)]);
+        assert_eq!(partial.covered_in_s, 3);
+        assert!((partial.percent_covered() - 0.75).abs() < 1e-12);
+
+        let full = dominating_adaptation(&g, &s, StopRule::FullCover);
+        assert_eq!(full.percent_covered(), 1.0);
+        assert!(full.dominator.contains(&n(3)));
+
+        let partial6 = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        assert_eq!(partial6.dominator, vec![n(0)]);
+        assert!((partial6.percent_covered() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alg6_full_cover_absorbs_reachable_self_covers() {
+        // 4 isolated in S but present in a tail set: {4} -> nothing? No
+        // edges from 4; it is in no tail set, so even FullCover cannot
+        // absorb it via T*. It stays uncovered and the loop breaks.
+        let mut g = DirectedHypergraph::new(5);
+        g.add_edge(&[n(0)], &[n(1)], 0.5).unwrap();
+        let s = all_nodes(&g);
+        let r = set_cover_adaptation(
+            &g,
+            &s,
+            &SetCoverOptions {
+                stop: StopRule::FullCover,
+                ..SetCoverOptions::default()
+            },
+        );
+        // Covered: 0 (dominator member), 1 (head). 2,3,4 unreachable.
+        assert_eq!(r.covered_in_s, 2);
+        assert!(r.percent_covered() < 1.0);
+    }
+
+    #[test]
+    fn enhancement1_prefers_fewer_new_members() {
+        // Tail {3} and tail {1,2} both cover exactly one new S head with
+        // equal alpha once 1 is already in the dominator... construct:
+        // edges: {1,2}->4, {3}->4 — S = {4} only. alpha({1,2}) = 1,
+        // alpha({3}) = 1. Enh1 prefers {3} (1 new member vs 2).
+        let mut g = DirectedHypergraph::new(5);
+        g.add_edge(&[n(1), n(2)], &[n(4)], 0.5).unwrap();
+        g.add_edge(&[n(3)], &[n(4)], 0.5).unwrap();
+        let s = [n(4)];
+        let with = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        assert_eq!(with.dominator, vec![n(3)]);
+        // Without Enh1 the first tail set found wins the tie.
+        let without = set_cover_adaptation(
+            &g,
+            &s,
+            &SetCoverOptions {
+                enhancement1: false,
+                ..SetCoverOptions::default()
+            },
+        );
+        assert_eq!(without.dominator, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn enhancement2_drops_subsumed_tailsets() {
+        // After {0,1} joins, tail sets {0} and {1} are subsumed.
+        let mut g = DirectedHypergraph::new(6);
+        g.add_edge(&[n(0), n(1)], &[n(2)], 0.9).unwrap();
+        g.add_edge(&[n(0), n(1)], &[n(3)], 0.9).unwrap();
+        g.add_edge(&[n(0)], &[n(4)], 0.2).unwrap();
+        g.add_edge(&[n(1)], &[n(5)], 0.2).unwrap();
+        let s = all_nodes(&g);
+        let r = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        // Everything covered by the single tail set {0,1} (its sub-tails
+        // fire automatically once both nodes are in the dominator).
+        assert_eq!(r.dominator, vec![n(0), n(1)]);
+        assert_eq!(r.percent_covered(), 1.0);
+    }
+
+    #[test]
+    fn empty_s_is_trivially_covered() {
+        let g = hub();
+        let r = dominating_adaptation(&g, &[], StopRule::FullCover);
+        assert!(r.dominator.is_empty());
+        assert_eq!(r.percent_covered(), 1.0);
+        let r = set_cover_adaptation(&g, &[], &SetCoverOptions::default());
+        assert!(r.dominator.is_empty());
+        assert_eq!(r.percent_covered(), 1.0);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = DirectedHypergraph::new(3);
+        let s = all_nodes(&g);
+        let r5 = dominating_adaptation(&g, &s, StopRule::NoCrossGain);
+        assert!(r5.dominator.is_empty());
+        assert_eq!(r5.covered_in_s, 0);
+        // FullCover absorbs every node by self-coverage.
+        let r5f = dominating_adaptation(&g, &s, StopRule::FullCover);
+        assert_eq!(r5f.dominator.len(), 3);
+        assert_eq!(r5f.percent_covered(), 1.0);
+        // Alg 6 has no tail sets at all: immediate break.
+        let r6 = set_cover_adaptation(&g, &s, &SetCoverOptions::default());
+        assert!(r6.dominator.is_empty());
+    }
+
+    #[test]
+    fn is_dominator_checks_definition() {
+        let g = pair_graph();
+        assert!(is_dominator(&g, &[n(2), n(3)], &[n(0), n(1)]));
+        assert!(!is_dominator(&g, &[n(2), n(3)], &[n(0)])); // half a tail
+        assert!(is_dominator(&g, &[n(0)], &[n(0)])); // membership counts
+        assert!(is_dominator(&g, &[], &[]));
+    }
+
+    #[test]
+    fn weights_steer_alg5_choices() {
+        // 0 and 1 both cover {2,3}; 1 has heavier edges and must be chosen.
+        let mut g = DirectedHypergraph::new(4);
+        g.add_edge(&[n(0)], &[n(2)], 0.3).unwrap();
+        g.add_edge(&[n(0)], &[n(3)], 0.3).unwrap();
+        g.add_edge(&[n(1)], &[n(2)], 0.9).unwrap();
+        g.add_edge(&[n(1)], &[n(3)], 0.9).unwrap();
+        let s = [n(2), n(3)];
+        let r = dominating_adaptation(&g, &s, StopRule::NoCrossGain);
+        assert_eq!(r.dominator, vec![n(1)]);
+    }
+}

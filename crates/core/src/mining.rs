@@ -1,0 +1,142 @@
+//! Direct mva-type rule mining: enumerate the strongest rules of a model.
+//!
+//! The association hypergraph aggregates rules into ACVs; downstream users
+//! often also want the classic rule-mining view — "give me the individual
+//! mva-type rules above a support/confidence floor" (the constraint-based
+//! mining the paper's related work discusses, Section 1.1). This module
+//! enumerates the association-table rows of kept edges as [`MinedRule`]s.
+
+use crate::model::AssociationModel;
+use hypermine_data::{AttrId, Value};
+
+/// One mined rule `{(t₁,v₁),…} ⟹ {(h, v*)}` with its measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedRule {
+    /// Tail attributes.
+    pub tail: Vec<AttrId>,
+    /// Tail value assignment, aligned with `tail`.
+    pub tail_values: Vec<Value>,
+    /// Head attribute.
+    pub head: AttrId,
+    /// Best head value for this assignment.
+    pub head_value: Value,
+    /// `Supp(tail assignment)`.
+    pub support: f64,
+    /// `Conf(tail ⟹ head value)`.
+    pub confidence: f64,
+}
+
+impl MinedRule {
+    /// `support × confidence` — the rule's contribution to its edge's ACV,
+    /// used as the ranking key.
+    pub fn strength(&self) -> f64 {
+        self.support * self.confidence
+    }
+}
+
+/// Enumerates every association-table row of every kept edge with
+/// `support ≥ min_support` and `confidence ≥ min_confidence`, sorted by
+/// [`MinedRule::strength`] descending, truncated to `limit` rules.
+///
+/// Complexity is `O(|E| · k²)` table recomputations; on large models
+/// prefilter with [`AssociationModel::filter_by_acv`] first.
+pub fn top_rules(
+    model: &AssociationModel,
+    min_support: f64,
+    min_confidence: f64,
+    limit: usize,
+) -> Vec<MinedRule> {
+    let tables = model.tables();
+    let mut rules = Vec::new();
+    for (id, _) in model.hypergraph().edges() {
+        let table = tables.table(id);
+        for row in table.rows() {
+            let Some(head_value) = row.best_head else {
+                continue;
+            };
+            if row.support >= min_support && row.confidence >= min_confidence {
+                rules.push(MinedRule {
+                    tail: table.tail().to_vec(),
+                    tail_values: row.tail_values,
+                    head: table.head(),
+                    head_value,
+                    support: row.support,
+                    confidence: row.confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.strength()
+            .partial_cmp(&a.strength())
+            .expect("finite measures")
+            .then_with(|| a.tail.cmp(&b.tail))
+            .then_with(|| a.tail_values.cmp(&b.tail_values))
+    });
+    rules.truncate(limit);
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use hypermine_data::Database;
+
+    fn model() -> AssociationModel {
+        // y copies x exactly; z is weakly related.
+        let x: Vec<Value> = (0..90).map(|i| (i % 3 + 1) as Value).collect();
+        let z: Vec<Value> = (0..90)
+            .map(|i| if i % 4 == 0 { 1 } else { (i % 3 + 1) as Value })
+            .collect();
+        let db = Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            vec![x.clone(), x, z],
+        )
+        .unwrap();
+        AssociationModel::build(&db, &ModelConfig::c1()).unwrap()
+    }
+
+    #[test]
+    fn strongest_rules_are_exact_copies() {
+        let m = model();
+        let rules = top_rules(&m, 0.0, 0.0, 10);
+        assert!(!rules.is_empty());
+        // The top rule must have confidence 1 (x ⟹ y is deterministic).
+        assert_eq!(rules[0].confidence, 1.0);
+        // Sorted by strength.
+        for w in rules.windows(2) {
+            assert!(w[0].strength() >= w[1].strength());
+        }
+    }
+
+    #[test]
+    fn floors_filter_rules() {
+        let m = model();
+        let all = top_rules(&m, 0.0, 0.0, usize::MAX);
+        let confident = top_rules(&m, 0.0, 0.9, usize::MAX);
+        assert!(confident.len() < all.len());
+        assert!(confident.iter().all(|r| r.confidence >= 0.9));
+        let supported = top_rules(&m, 0.3, 0.0, usize::MAX);
+        assert!(supported.iter().all(|r| r.support >= 0.3));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let m = model();
+        assert_eq!(top_rules(&m, 0.0, 0.0, 3).len(), 3);
+        assert!(top_rules(&m, 2.0, 0.0, 10).is_empty()); // impossible floor
+    }
+
+    #[test]
+    fn rules_align_tail_and_values() {
+        let m = model();
+        for r in top_rules(&m, 0.0, 0.0, 50) {
+            assert_eq!(r.tail.len(), r.tail_values.len());
+            assert!(!r.tail.contains(&r.head));
+            assert!((0.0..=1.0).contains(&r.support));
+            assert!((0.0..=1.0).contains(&r.confidence));
+        }
+    }
+}

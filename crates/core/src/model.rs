@@ -1,0 +1,401 @@
+//! The association hypergraph model (Definition 3.6).
+
+use crate::builder;
+use crate::config::ModelConfig;
+use crate::counting::CountingEngine;
+use crate::table::AssociationTable;
+use hypermine_data::{AttrId, Database, Value};
+use hypermine_hypergraph::{DirectedHypergraph, EdgeId, NodeId};
+use std::fmt;
+
+/// Converts an attribute id to its hypergraph node (same raw index).
+#[inline]
+pub fn node_of(a: AttrId) -> NodeId {
+    NodeId::new(a.raw())
+}
+
+/// Converts a hypergraph node back to its attribute id.
+#[inline]
+pub fn attr_of(n: NodeId) -> AttrId {
+    AttrId::new(n.raw())
+}
+
+/// Errors raised by [`AssociationModel::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// γ values below 1 admit edges *worse* than their sub-edges, which
+    /// Definition 3.7 explicitly rules out (`γ ≥ 1`).
+    GammaBelowOne(f64),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::GammaBelowOne(g) => {
+                write!(f, "gamma must be >= 1 (Definition 3.7), got {g}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An association hypergraph over a discretized database: nodes are
+/// attributes, directed edges/2-to-1 hyperedges carry ACV weights and
+/// association tables.
+#[derive(Debug, Clone)]
+pub struct AssociationModel {
+    pub(crate) graph: DirectedHypergraph,
+    /// The (discretized) training database. Association tables are
+    /// recomputed from it on demand via [`AssociationModel::tables`] —
+    /// storing a `k^|T|`-row table per kept hyperedge would dominate memory
+    /// on full-scale models with hundreds of thousands of hyperedges.
+    pub(crate) db: Database,
+    pub(crate) k: Value,
+    /// `ACV(∅, {h})` per attribute.
+    pub(crate) baseline: Vec<f64>,
+    /// Training-set majority value per attribute (classifier fallback).
+    pub(crate) majority: Vec<Option<Value>>,
+    /// Raw directed-edge ACVs for *all* ordered pairs (`tail · n + head`),
+    /// including pairs that failed the γ test — needed by the γ test for
+    /// 2-to-1 hyperedges and by Table 5.2.
+    pub(crate) raw_edge_acv: Vec<f64>,
+}
+
+/// On-demand access to association tables: holds a [`CountingEngine`] over
+/// the model's training database and recomputes any edge's table exactly
+/// (`O(k³ · m/64)` word operations per table).
+#[derive(Debug)]
+pub struct ModelTables<'m> {
+    model: &'m AssociationModel,
+    engine: CountingEngine<'m>,
+}
+
+impl<'m> ModelTables<'m> {
+    /// The association table of edge `e`.
+    pub fn table(&self, e: EdgeId) -> AssociationTable {
+        let edge = self.model.graph.edge(e);
+        let tail: Vec<AttrId> = edge.tail().iter().map(|&n| attr_of(n)).collect();
+        self.engine.table_for(&tail, attr_of(edge.head()[0]))
+    }
+
+    /// The table of an arbitrary `(tail, head)` combination, kept or not
+    /// (used by Table 5.2 to display constituent directed edges).
+    pub fn table_for(&self, tail: &[AttrId], head: AttrId) -> AssociationTable {
+        self.engine.table_for(tail, head)
+    }
+
+    /// The underlying counting engine.
+    pub fn engine(&self) -> &CountingEngine<'m> {
+        &self.engine
+    }
+}
+
+impl AssociationModel {
+    /// Builds the association hypergraph of `db` under `cfg`
+    /// (Section 3.2.1): computes every directed-edge ACV, keeps the
+    /// γ₁-significant ones, then (if enabled) sweeps all
+    /// `(unordered pair, head)` combinations in parallel keeping the
+    /// γ₂-significant 2-to-1 hyperedges. Zero-ACV candidates are never
+    /// added (they carry no information; this only matters for degenerate
+    /// databases).
+    pub fn build(db: &Database, cfg: &ModelConfig) -> Result<Self, BuildError> {
+        if cfg.gamma_edge < 1.0 {
+            return Err(BuildError::GammaBelowOne(cfg.gamma_edge));
+        }
+        if cfg.gamma_hyper < 1.0 {
+            return Err(BuildError::GammaBelowOne(cfg.gamma_hyper));
+        }
+        Ok(builder::build(db, cfg))
+    }
+
+    /// The underlying weighted directed hypergraph (weights are ACVs).
+    pub fn hypergraph(&self) -> &DirectedHypergraph {
+        &self.graph
+    }
+
+    /// The training database the model was built from.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// On-demand association-table access (builds one counting engine; keep
+    /// it around when reading many tables).
+    pub fn tables(&self) -> ModelTables<'_> {
+        ModelTables {
+            model: self,
+            engine: CountingEngine::new(&self.db),
+        }
+    }
+
+    /// The ACV of an edge (its weight).
+    pub fn acv(&self, e: EdgeId) -> f64 {
+        self.graph.edge(e).weight()
+    }
+
+    /// Number of attributes (= hypergraph nodes).
+    pub fn num_attrs(&self) -> usize {
+        self.db.num_attrs()
+    }
+
+    /// The value-domain size `k`.
+    pub fn k(&self) -> Value {
+        self.k
+    }
+
+    /// Attribute name.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        self.db.attr_name(a)
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.db.attr_by_name(name)
+    }
+
+    /// All attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.db.attrs()
+    }
+
+    /// `ACV(∅, {h})` — the γ baseline for directed edges into `h`.
+    pub fn baseline_acv(&self, h: AttrId) -> f64 {
+        self.baseline[h.index()]
+    }
+
+    /// The training-set majority value of attribute `a`.
+    pub fn majority_value(&self, a: AttrId) -> Option<Value> {
+        self.majority[a.index()]
+    }
+
+    /// The raw (pre-γ-filter) ACV of the directed edge `({tail}, {head})`.
+    pub fn raw_edge_acv(&self, tail: AttrId, head: AttrId) -> f64 {
+        self.raw_edge_acv[tail.index() * self.num_attrs() + head.index()]
+    }
+
+    /// The kept directed edge of highest ACV whose head is `h`
+    /// (Table 5.1's "top directed edge").
+    pub fn best_in_edge(&self, h: AttrId) -> Option<EdgeId> {
+        self.best_in_by(h, |e| e == 1)
+    }
+
+    /// The kept 2-to-1 hyperedge of highest ACV whose head is `h`
+    /// (Table 5.1's "top 2-to-1 directed hyperedge").
+    pub fn best_in_hyperedge(&self, h: AttrId) -> Option<EdgeId> {
+        self.best_in_by(h, |e| e == 2)
+    }
+
+    fn best_in_by(&self, h: AttrId, tail_len_ok: impl Fn(usize) -> bool) -> Option<EdgeId> {
+        self.graph
+            .in_edges(node_of(h))
+            .iter()
+            .copied()
+            .filter(|&e| tail_len_ok(self.graph.edge(e).tail_len()))
+            .max_by(|&x, &y| {
+                self.graph
+                    .edge(x)
+                    .weight()
+                    .partial_cmp(&self.graph.edge(y).weight())
+                    .expect("ACVs are finite")
+                    .then(y.cmp(&x))
+            })
+    }
+
+    /// A copy of the model keeping only edges with `ACV ≥ min_acv`
+    /// (Section 5.4's ACV-threshold filtering). Baselines, majorities, raw
+    /// ACVs, and the training database are preserved.
+    pub fn filter_by_acv(&self, min_acv: f64) -> AssociationModel {
+        AssociationModel {
+            graph: self.graph.filter_by_weight(min_acv),
+            db: self.db.clone(),
+            k: self.k,
+            baseline: self.baseline.clone(),
+            majority: self.majority.clone(),
+            raw_edge_acv: self.raw_edge_acv.clone(),
+        }
+    }
+
+    /// The ACV threshold that keeps (approximately) the top `fraction` of
+    /// edges by ACV (the paper's "top 40/30/20% directed hyperedges
+    /// w.r.t. ACVs", Section 5.4).
+    pub fn acv_percentile_threshold(&self, fraction: f64) -> Option<f64> {
+        self.graph.weight_percentile_threshold(fraction)
+    }
+
+    /// Summary statistics in the shape of Section 5.1.2.
+    pub fn stats(&self) -> ModelStats {
+        let mut n1 = 0usize;
+        let mut n2 = 0usize;
+        let mut sum1 = 0.0;
+        let mut sum2 = 0.0;
+        for (_, e) in self.graph.edges() {
+            match e.tail_len() {
+                1 => {
+                    n1 += 1;
+                    sum1 += e.weight();
+                }
+                _ => {
+                    n2 += 1;
+                    sum2 += e.weight();
+                }
+            }
+        }
+        ModelStats {
+            num_directed_edges: n1,
+            num_hyperedges: n2,
+            mean_acv_directed: if n1 > 0 { Some(sum1 / n1 as f64) } else { None },
+            mean_acv_hyper: if n2 > 0 { Some(sum2 / n2 as f64) } else { None },
+        }
+    }
+}
+
+/// Edge counts and mean ACVs by arity (Section 5.1.2's reporting format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Number of kept directed edges (`|T| = 1`).
+    pub num_directed_edges: usize,
+    /// Number of kept 2-to-1 directed hyperedges (`|T| = 2`).
+    pub num_hyperedges: usize,
+    /// Mean ACV over directed edges.
+    pub mean_acv_directed: Option<f64>,
+    /// Mean ACV over 2-to-1 hyperedges.
+    pub mean_acv_hyper: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    /// Three attributes where y is a noisy copy of x and z is independent.
+    fn db() -> Database {
+        let x: Vec<Value> = (0..120).map(|i| (i % 3 + 1) as Value).collect();
+        let y: Vec<Value> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 10 == 0 { (v % 3) + 1 } else { v })
+            .collect();
+        let z: Vec<Value> = (0..120).map(|i| ((i / 7) % 3 + 1) as Value).collect();
+        Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            vec![x, y, z],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_finds_strong_edges() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        // x <-> y strongly associated: both directed edges survive γ = 1.15.
+        let xy = m.hypergraph().find_edge(&[node_of(a(0))], &[node_of(a(1))]);
+        let yx = m.hypergraph().find_edge(&[node_of(a(1))], &[node_of(a(0))]);
+        assert!(xy.is_some() && yx.is_some());
+        assert!(m.acv(xy.unwrap()) > 0.8);
+        // Raw ACV matrix is populated even for non-kept pairs.
+        assert!(m.raw_edge_acv(a(0), a(2)) > 0.0);
+    }
+
+    #[test]
+    fn gamma_below_one_rejected() {
+        let d = db();
+        let bad = ModelConfig {
+            gamma_edge: 0.9,
+            ..ModelConfig::default()
+        };
+        assert_eq!(
+            AssociationModel::build(&d, &bad).err(),
+            Some(BuildError::GammaBelowOne(0.9))
+        );
+        let bad = ModelConfig {
+            gamma_hyper: 0.5,
+            ..ModelConfig::default()
+        };
+        assert!(matches!(
+            AssociationModel::build(&d, &bad),
+            Err(BuildError::GammaBelowOne(_))
+        ));
+    }
+
+    #[test]
+    fn tables_align_with_edges() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let tables = m.tables();
+        for (id, e) in m.hypergraph().edges() {
+            let t = tables.table(id);
+            assert_eq!(t.tail().len(), e.tail_len());
+            assert_eq!(node_of(t.head()), e.head()[0]);
+            assert!((t.acv() - e.weight()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_by_acv_keeps_tables_aligned() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let thr = m.acv_percentile_threshold(0.5).unwrap();
+        let f = m.filter_by_acv(thr);
+        assert!(f.hypergraph().num_edges() <= m.hypergraph().num_edges());
+        assert!(f.hypergraph().num_edges() > 0);
+        let tables = f.tables();
+        for (id, e) in f.hypergraph().edges() {
+            assert!(e.weight() >= thr);
+            assert!((tables.table(id).acv() - e.weight()).abs() < 1e-12);
+        }
+        // Metadata preserved.
+        assert_eq!(f.num_attrs(), m.num_attrs());
+        assert_eq!(f.raw_edge_acv(a(0), a(1)), m.raw_edge_acv(a(0), a(1)));
+    }
+
+    #[test]
+    fn best_in_edges() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let best = m.best_in_edge(a(1)).expect("x -> y kept");
+        // Best predictor of y must be x.
+        assert_eq!(m.hypergraph().edge(best).tail(), &[node_of(a(0))]);
+        if let Some(h) = m.best_in_hyperedge(a(1)) {
+            assert_eq!(m.hypergraph().edge(h).tail_len(), 2);
+        }
+    }
+
+    #[test]
+    fn stats_split_by_arity() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s = m.stats();
+        assert_eq!(
+            s.num_directed_edges + s.num_hyperedges,
+            m.hypergraph().num_edges()
+        );
+        if let Some(mean) = s.mean_acv_directed {
+            assert!(mean > 0.0 && mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        assert_eq!(m.attr_by_name("y"), Some(a(1)));
+        assert_eq!(m.attr_by_name("nope"), None);
+        assert_eq!(m.attr_name(a(2)), "z");
+        assert_eq!(m.k(), 3);
+    }
+
+    #[test]
+    fn hyperedges_can_be_disabled() {
+        let d = db();
+        let cfg = ModelConfig {
+            with_hyperedges: false,
+            ..ModelConfig::default()
+        };
+        let m = AssociationModel::build(&d, &cfg).unwrap();
+        assert_eq!(m.stats().num_hyperedges, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! mva-type association rules (Definitions 3.1–3.2).
+
+use hypermine_data::{confidence, support, AttrId, Database, Value};
+use std::fmt;
+
+/// An association rule for multi-valued attributes: `X ⟹ Y` where `X` and
+/// `Y` are `(attribute, value)` sets over disjoint attribute sets
+/// (Definition 3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvaRule {
+    antecedent: Vec<(AttrId, Value)>,
+    consequent: Vec<(AttrId, Value)>,
+}
+
+/// Error building an [`MvaRule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// `π₁(X)` and `π₁(Y)` intersect.
+    OverlappingAttributes(AttrId),
+    /// The same attribute is constrained twice on one side.
+    DuplicateAttribute(AttrId),
+    /// The consequent is empty (an implication needs a right-hand side).
+    EmptyConsequent,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::OverlappingAttributes(a) => {
+                write!(f, "attribute {a} appears in both sides of the rule")
+            }
+            RuleError::DuplicateAttribute(a) => {
+                write!(f, "attribute {a} is constrained twice on one side")
+            }
+            RuleError::EmptyConsequent => write!(f, "the consequent must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+fn check_duplicates(side: &[(AttrId, Value)]) -> Result<(), RuleError> {
+    for (i, &(a, _)) in side.iter().enumerate() {
+        if side[i + 1..].iter().any(|&(b, _)| b == a) {
+            return Err(RuleError::DuplicateAttribute(a));
+        }
+    }
+    Ok(())
+}
+
+impl MvaRule {
+    /// Builds a rule, validating that `π₁(X) ∩ π₁(Y) = ∅` and that no side
+    /// constrains one attribute twice. The antecedent may be empty (the
+    /// paper uses `ACV(∅, {X})` as the γ-significance baseline).
+    pub fn new(
+        antecedent: Vec<(AttrId, Value)>,
+        consequent: Vec<(AttrId, Value)>,
+    ) -> Result<Self, RuleError> {
+        if consequent.is_empty() {
+            return Err(RuleError::EmptyConsequent);
+        }
+        check_duplicates(&antecedent)?;
+        check_duplicates(&consequent)?;
+        for &(a, _) in &antecedent {
+            if consequent.iter().any(|&(b, _)| b == a) {
+                return Err(RuleError::OverlappingAttributes(a));
+            }
+        }
+        Ok(MvaRule {
+            antecedent,
+            consequent,
+        })
+    }
+
+    /// The antecedent `X`.
+    pub fn antecedent(&self) -> &[(AttrId, Value)] {
+        &self.antecedent
+    }
+
+    /// The consequent `Y`.
+    pub fn consequent(&self) -> &[(AttrId, Value)] {
+        &self.consequent
+    }
+
+    /// `Supp(X)` over `db` (Definition 3.2(1)).
+    pub fn antecedent_support(&self, db: &Database) -> f64 {
+        support(db, &self.antecedent)
+    }
+
+    /// `Supp(X ∪ Y)` over `db`.
+    pub fn joint_support(&self, db: &Database) -> f64 {
+        let mut joint = self.antecedent.clone();
+        joint.extend_from_slice(&self.consequent);
+        support(db, &joint)
+    }
+
+    /// `Conf(X ⟹ Y)` over `db` (Definition 3.2(2)); `None` when the
+    /// antecedent has zero support.
+    pub fn confidence(&self, db: &Database) -> Option<f64> {
+        confidence(db, &self.antecedent, &self.consequent)
+    }
+
+    /// Renders the rule using attribute names from `db`.
+    pub fn display<'a>(&'a self, db: &'a Database) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a MvaRule, &'a Database);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fn side(
+                    f: &mut fmt::Formatter<'_>,
+                    db: &Database,
+                    xs: &[(AttrId, Value)],
+                ) -> fmt::Result {
+                    write!(f, "{{")?;
+                    for (i, &(a, v)) in xs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "({}, {v})", db.attr_name(a))?;
+                    }
+                    write!(f, "}}")
+                }
+                side(f, self.1, &self.0.antecedent)?;
+                write!(f, " ==mva==> ")?;
+                side(f, self.1, &self.0.consequent)
+            }
+        }
+        D(self, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    /// The paper's discretized Personal-Interest database (Table 3.6) with
+    /// l = 1, m = 2, h = 3; columns Read, Play, Music, Eat.
+    fn interest_db() -> Database {
+        Database::from_rows(
+            vec!["R".into(), "P".into(), "M".into(), "E".into()],
+            3,
+            &[
+                [3, 3, 1, 2],
+                [2, 3, 2, 2],
+                [1, 1, 3, 3],
+                [2, 1, 3, 2],
+                [3, 3, 1, 2],
+                [3, 3, 2, 2],
+                [2, 2, 2, 2],
+                [3, 3, 1, 3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_3_5() {
+        // X = {(R,h),(P,h)}, Y = {(M,l)}: Supp(X) = 0.5, Conf = 0.75.
+        let db = interest_db();
+        let rule = MvaRule::new(vec![(a(0), 3), (a(1), 3)], vec![(a(2), 1)]).unwrap();
+        assert!((rule.antecedent_support(&db) - 0.5).abs() < 1e-12);
+        assert!((rule.confidence(&db).unwrap() - 0.75).abs() < 1e-12);
+        assert!((rule.joint_support(&db) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            MvaRule::new(vec![(a(0), 1)], vec![]),
+            Err(RuleError::EmptyConsequent)
+        );
+        assert_eq!(
+            MvaRule::new(vec![(a(0), 1)], vec![(a(0), 2)]),
+            Err(RuleError::OverlappingAttributes(a(0)))
+        );
+        assert_eq!(
+            MvaRule::new(vec![(a(0), 1), (a(0), 2)], vec![(a(1), 1)]),
+            Err(RuleError::DuplicateAttribute(a(0)))
+        );
+        assert_eq!(
+            MvaRule::new(vec![], vec![(a(1), 1), (a(1), 2)]),
+            Err(RuleError::DuplicateAttribute(a(1)))
+        );
+    }
+
+    #[test]
+    fn empty_antecedent_allowed() {
+        let db = interest_db();
+        let rule = MvaRule::new(vec![], vec![(a(3), 2)]).unwrap();
+        assert_eq!(rule.antecedent_support(&db), 1.0);
+        // Conf(∅ ⇒ E = m) = Supp(E = m) = 6/8.
+        assert!((rule.confidence(&db).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let db = interest_db();
+        let rule = MvaRule::new(vec![(a(0), 3)], vec![(a(2), 1)]).unwrap();
+        assert_eq!(rule.display(&db).to_string(), "{(R, 3)} ==mva==> {(M, 1)}");
+    }
+
+    #[test]
+    fn zero_support_rule() {
+        let db = interest_db();
+        // Eat never takes value 1 (l).
+        let rule = MvaRule::new(vec![(a(3), 1)], vec![(a(0), 1)]).unwrap();
+        assert_eq!(rule.confidence(&db), None);
+    }
+}

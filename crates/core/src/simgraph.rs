@@ -1,0 +1,211 @@
+//! Similarity graphs and attribute clustering (Definition 3.13,
+//! Section 3.3.2).
+
+use crate::model::AssociationModel;
+use hypermine_approx::{t_clustering, Clustering, DistanceMatrix};
+use hypermine_data::AttrId;
+
+/// The similarity graph `SG_S` induced by the attribute collection `attrs`:
+/// a complete weighted graph where
+/// `d(A₁, A₂) = 1 − (in-sim(A₁,A₂) + out-sim(A₁,A₂)) / 2`,
+/// returned as a [`DistanceMatrix`] indexed like `attrs`.
+///
+/// Construction is `O(|S|² · avg-degree)` (each pair inspects both
+/// attributes' incident edges).
+pub fn similarity_distance_matrix(model: &AssociationModel, attrs: &[AttrId]) -> DistanceMatrix {
+    DistanceMatrix::from_fn(attrs.len(), |i, j| {
+        model.similarity_distance(attrs[i], attrs[j])
+    })
+}
+
+/// Result of clustering a collection of attributes.
+#[derive(Debug, Clone)]
+pub struct AttributeClustering {
+    /// The attributes, in matrix/index order.
+    pub attrs: Vec<AttrId>,
+    /// The pairwise distance matrix used.
+    pub distances: DistanceMatrix,
+    /// The t-clustering over those indices.
+    pub clustering: Clustering,
+}
+
+impl AttributeClustering {
+    /// Attribute ids designated as cluster centers.
+    pub fn center_attrs(&self) -> Vec<AttrId> {
+        self.clustering
+            .centers
+            .iter()
+            .map(|&i| self.attrs[i])
+            .collect()
+    }
+
+    /// The members (attribute ids) of cluster `c`.
+    pub fn cluster_members(&self, c: usize) -> Vec<AttrId> {
+        self.clustering
+            .members(c)
+            .into_iter()
+            .map(|i| self.attrs[i])
+            .collect()
+    }
+
+    /// Mean of the per-cluster diameters (the quality statistic the paper
+    /// reports for Figure 5.3).
+    pub fn mean_cluster_diameter(&self) -> f64 {
+        let d = self.clustering.cluster_diameters(&self.distances);
+        if d.is_empty() {
+            0.0
+        } else {
+            d.iter().sum::<f64>() / d.len() as f64
+        }
+    }
+
+    /// Mean pairwise distance over the whole similarity graph (compared
+    /// against the mean diameter to show clusters are tighter than chance).
+    pub fn mean_distance(&self) -> f64 {
+        self.distances.mean_distance().unwrap_or(0.0)
+    }
+}
+
+/// Clusters `attrs` into `t` groups with Gonzalez's algorithm over the
+/// similarity graph (Section 3.3.2). `first_center` designates the seed
+/// attribute (the paper seeds from the largest sector, Technology).
+///
+/// # Panics
+/// Panics if `attrs` is empty or `first_center` is not in `attrs`.
+pub fn cluster_attributes(
+    model: &AssociationModel,
+    attrs: &[AttrId],
+    t: usize,
+    first_center: Option<AttrId>,
+) -> AttributeClustering {
+    assert!(!attrs.is_empty(), "cannot cluster zero attributes");
+    let first = first_center.map(|fc| {
+        attrs
+            .iter()
+            .position(|&a| a == fc)
+            .expect("first_center must be one of the clustered attributes")
+    });
+    let distances = similarity_distance_matrix(model, attrs);
+    let clustering = t_clustering(&distances, t, first);
+    AttributeClustering {
+        attrs: attrs.to_vec(),
+        distances,
+        clustering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use hypermine_data::{Database, Value};
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    /// Two blocks of mutually-tracking attributes: {0,1,2} and {3,4,5}.
+    fn block_db() -> Database {
+        let n_obs = 240;
+        let base1: Vec<Value> = (0..n_obs).map(|o| (o % 3 + 1) as Value).collect();
+        // A multiplicative hash decorrelates block 2 from block 1.
+        let base2: Vec<Value> = (0..n_obs as u64)
+            .map(|o| ((o.wrapping_mul(2654435761) >> 7) % 3 + 1) as Value)
+            .collect();
+        let noisy = |base: &[Value], shift: usize| -> Vec<Value> {
+            base.iter()
+                .enumerate()
+                .map(|(o, &v)| {
+                    if o % (11 + shift) == 0 {
+                        (v % 3) + 1
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        };
+        Database::from_columns(
+            (0..6).map(|i| format!("A{i}")).collect(),
+            3,
+            vec![
+                base1.clone(),
+                noisy(&base1, 0),
+                noisy(&base1, 1),
+                base2.clone(),
+                noisy(&base2, 2),
+                noisy(&base2, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn model() -> AssociationModel {
+        AssociationModel::build(&block_db(), &ModelConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn blocks_cluster_together() {
+        let m = model();
+        let attrs: Vec<AttrId> = m.attrs().collect();
+        let c = cluster_attributes(&m, &attrs, 2, None);
+        // All of {0,1,2} share one cluster, {3,4,5} the other.
+        let c0 = c.clustering.assignment[0];
+        assert_eq!(c.clustering.assignment[1], c0);
+        assert_eq!(c.clustering.assignment[2], c0);
+        let c3 = c.clustering.assignment[3];
+        assert_ne!(c3, c0);
+        assert_eq!(c.clustering.assignment[4], c3);
+        assert_eq!(c.clustering.assignment[5], c3);
+        // Clusters are tighter than the graph at large.
+        assert!(c.mean_cluster_diameter() < c.mean_distance());
+    }
+
+    #[test]
+    fn distance_matrix_properties() {
+        let m = model();
+        let attrs: Vec<AttrId> = m.attrs().collect();
+        let d = similarity_distance_matrix(&m, &attrs);
+        for i in 0..attrs.len() {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..attrs.len() {
+                assert!((0.0..=1.0).contains(&d.get(i, j)));
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn first_center_respected() {
+        let m = model();
+        let attrs: Vec<AttrId> = m.attrs().collect();
+        let c = cluster_attributes(&m, &attrs, 2, Some(a(3)));
+        assert_eq!(c.clustering.centers[0], 3);
+        assert_eq!(c.center_attrs()[0], a(3));
+    }
+
+    #[test]
+    fn cluster_members_map_back_to_attrs() {
+        let m = model();
+        let attrs: Vec<AttrId> = m.attrs().collect();
+        let c = cluster_attributes(&m, &attrs, 2, None);
+        let mut all: Vec<AttrId> = (0..c.clustering.centers.len())
+            .flat_map(|i| c.cluster_members(i))
+            .collect();
+        all.sort();
+        assert_eq!(all, attrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero attributes")]
+    fn empty_attr_list_panics() {
+        let m = model();
+        cluster_attributes(&m, &[], 2, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be one of")]
+    fn foreign_first_center_panics() {
+        let m = model();
+        cluster_attributes(&m, &[a(0), a(1)], 2, Some(a(5)));
+    }
+}

@@ -1,0 +1,56 @@
+//! The delta (fractional change) transform for time-series.
+//!
+//! Section 5.1.1: "for each financial time-series … we create a *delta
+//! time-series*, a list of real numbers whose i'th entry is the fractional
+//! change in the closing stock price of the (i+1)'th day relative to the
+//! closing stock price of the i'th day."
+
+/// Computes the delta series of `prices`: `delta[i] = (p[i+1] - p[i]) / p[i]`.
+///
+/// The result has length `prices.len() - 1` (empty for fewer than two
+/// prices). Non-positive prices yield whatever IEEE arithmetic produces;
+/// the market simulator never emits them, and loaders should validate.
+pub fn delta_series(prices: &[f64]) -> Vec<f64> {
+    prices
+        .windows(2)
+        .map(|w| (w[1] - w[0]) / w[0])
+        .collect()
+}
+
+/// Applies [`delta_series`] to every column of a price matrix.
+pub fn delta_matrix(prices: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    prices.iter().map(|p| delta_series(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fractional_changes() {
+        let d = delta_series(&[100.0, 110.0, 99.0]);
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 0.10).abs() < 1e-12);
+        assert!((d[1] - (-0.10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_inputs() {
+        assert!(delta_series(&[]).is_empty());
+        assert!(delta_series(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn constant_series_is_all_zero() {
+        let d = delta_series(&[3.0; 10]);
+        assert_eq!(d.len(), 9);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matrix_applies_per_column() {
+        let m = delta_matrix(&[vec![1.0, 2.0], vec![4.0, 2.0, 1.0]]);
+        assert_eq!(m[0], vec![1.0]);
+        assert_eq!(m[1], vec![-0.5, -0.5]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Equi-depth partitioning via k-threshold vectors (Section 5.1.1).
+
+use super::{Discretizer, ThresholdVector};
+
+/// The paper's equi-depth discretizer.
+///
+/// A *k-threshold vector* for a series is a `(k−1)`-tuple `⟨a₁, …, a_{k−1}⟩`
+/// such that roughly `1/k` of the entries fall into each bucket. Following
+/// Section 5.1.1 verbatim: sort the series ascending and, for each
+/// `1 ≤ i ≤ k−1`, set `aᵢ` to the `⌊(i/k)·N⌋`'th entry of the sorted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquiDepth {
+    k: u8,
+}
+
+impl EquiDepth {
+    /// Creates an equi-depth discretizer with `k ≥ 1` buckets.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: u8) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        EquiDepth { k }
+    }
+
+    /// The number of buckets.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+}
+
+impl Discretizer for EquiDepth {
+    fn fit(&self, col: &[f64]) -> ThresholdVector {
+        let k = self.k as usize;
+        if k == 1 || col.is_empty() {
+            return ThresholdVector::new(vec![]);
+        }
+        let mut sorted: Vec<f64> = col.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        if sorted.is_empty() {
+            return ThresholdVector::new(vec![]);
+        }
+        let n = sorted.len();
+        let mut cuts = Vec::with_capacity(k - 1);
+        for i in 1..k {
+            let idx = (i * n) / k; // ⌊(i/k)·N⌋
+            cuts.push(sorted[idx.min(n - 1)]);
+        }
+        ThresholdVector::new(cuts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terciles_are_roughly_equal() {
+        // 0..300 → buckets of exactly 100 each.
+        let col: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let ed = EquiDepth::new(3);
+        let vals = ed.fit_apply(&col);
+        let mut counts = [0usize; 3];
+        for v in vals {
+            counts[(v - 1) as usize] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100]);
+    }
+
+    #[test]
+    fn unsorted_input_same_thresholds() {
+        let mut col: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let tv1 = EquiDepth::new(4).fit(&col);
+        col.reverse();
+        let tv2 = EquiDepth::new(4).fit(&col);
+        assert_eq!(tv1, tv2);
+    }
+
+    #[test]
+    fn heavy_ties_collapse_buckets_but_stay_valid() {
+        // 90% zeros: bucket boundaries coincide; every output is in 1..=3.
+        let mut col = vec![0.0; 90];
+        col.extend((0..10).map(|i| (i + 1) as f64));
+        let vals = EquiDepth::new(3).fit_apply(&col);
+        assert!(vals.iter().all(|&v| (1..=3).contains(&v)));
+        // All zeros sit strictly below any positive cut? Both cuts are 0.0
+        // here, so zeros (x >= a2 is false; x >= a1 false since a1 = 0 → x
+        // >= 0 true) — verify the exact semantics: apply(0.0) with cuts
+        // [0,0] = partition_point(c <= 0) + 1 = 3.
+        assert_eq!(vals[0], 3);
+    }
+
+    #[test]
+    fn k1_maps_everything_to_one() {
+        let vals = EquiDepth::new(1).fit_apply(&[3.0, -1.0, 2.0]);
+        assert_eq!(vals, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_inputs() {
+        let tv = EquiDepth::new(3).fit(&[]);
+        assert_eq!(tv.k(), 1);
+        let tv = EquiDepth::new(3).fit(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(tv.k(), 1);
+        // Mixed: non-finite entries are ignored for fitting.
+        let tv = EquiDepth::new(2).fit(&[1.0, f64::NAN, 3.0, 2.0]);
+        assert_eq!(tv.cuts().len(), 1);
+        assert_eq!(tv.apply(1.5), 1);
+        assert_eq!(tv.apply(2.5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        EquiDepth::new(0);
+    }
+}

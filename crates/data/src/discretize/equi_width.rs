@@ -1,0 +1,72 @@
+//! Equal-width discretization.
+
+use super::{Discretizer, ThresholdVector};
+
+/// Splits the observed `[min, max]` range of a column into `k` equal-width
+/// buckets. Unlike [`super::EquiDepth`], bucket populations can be very
+/// uneven; the paper's Gene example (Table 3.4: cuts at 333/666 over
+/// 0..999) is an instance of this scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquiWidth {
+    k: u8,
+}
+
+impl EquiWidth {
+    /// Creates an equal-width discretizer with `k ≥ 1` buckets.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: u8) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        EquiWidth { k }
+    }
+}
+
+impl Discretizer for EquiWidth {
+    fn fit(&self, col: &[f64]) -> ThresholdVector {
+        let k = self.k as usize;
+        let finite: Vec<f64> = col.iter().copied().filter(|x| x.is_finite()).collect();
+        if k == 1 || finite.is_empty() {
+            return ThresholdVector::new(vec![]);
+        }
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = (max - min) / k as f64;
+        let cuts = (1..k).map(|i| min + width * i as f64).collect();
+        ThresholdVector::new(cuts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_range_buckets() {
+        let col: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let vals = EquiWidth::new(2).fit_apply(&col);
+        // Cut at 4.5: 0..=4 → 1, 5..=9 → 2.
+        assert_eq!(vals, vec![1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn skewed_data_gives_uneven_buckets() {
+        let mut col = vec![0.0; 9];
+        col.push(100.0);
+        let vals = EquiWidth::new(2).fit_apply(&col);
+        let ones = vals.iter().filter(|&&v| v == 1).count();
+        assert_eq!(ones, 9); // everything but the outlier in bucket 1
+    }
+
+    #[test]
+    fn constant_column() {
+        let vals = EquiWidth::new(3).fit_apply(&[5.0; 4]);
+        // Zero width: all cuts equal 5.0, so 5.0 maps to the top bucket.
+        assert!(vals.iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(EquiWidth::new(3).fit(&[]).k(), 1);
+    }
+}

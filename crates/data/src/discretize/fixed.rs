@@ -1,0 +1,66 @@
+//! Discretization with externally supplied cut points.
+
+use super::{Discretizer, ThresholdVector};
+
+/// A discretizer whose cut points are fixed a priori rather than learned.
+///
+/// This reproduces the paper's worked examples: the Gene database
+/// (Table 3.4) uses cuts `⟨334, 667⟩` over expression values, and the
+/// Personal-Interest database (Table 3.6) uses cuts `⟨4, 8⟩` over ratings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedCuts {
+    cuts: Vec<f64>,
+}
+
+impl FixedCuts {
+    /// Creates a fixed-cut discretizer.
+    ///
+    /// # Panics
+    /// Panics (via [`ThresholdVector::new`]) if cuts are not ascending/finite.
+    pub fn new(cuts: Vec<f64>) -> Self {
+        // Validate eagerly.
+        let _ = ThresholdVector::new(cuts.clone());
+        FixedCuts { cuts }
+    }
+}
+
+impl Discretizer for FixedCuts {
+    fn fit(&self, _col: &[f64]) -> ThresholdVector {
+        ThresholdVector::new(self.cuts.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gene_database_cuts() {
+        // ↓ if 0..=333, ↔ if 334..=666, ↑ if 667..=999 (paper, Example 3.4).
+        let d = FixedCuts::new(vec![334.0, 667.0]);
+        let col = [54.23, 541.21, 855.78, 333.9, 334.0];
+        let vals = d.fit_apply(&col);
+        assert_eq!(vals, vec![1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn interest_database_cuts() {
+        // l if 0..=3, m if 4..=7, h if 8..=10 (paper, Example 3.5).
+        let d = FixedCuts::new(vec![4.0, 8.0]);
+        assert_eq!(d.fit_apply(&[10.0, 7.0, 3.0, 5.0]), vec![3, 2, 1, 2]);
+    }
+
+    #[test]
+    fn ignores_fitted_column() {
+        let d = FixedCuts::new(vec![0.0]);
+        let tv1 = d.fit(&[1.0, 2.0]);
+        let tv2 = d.fit(&[-100.0, 100.0]);
+        assert_eq!(tv1, tv2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn invalid_cuts_rejected_eagerly() {
+        FixedCuts::new(vec![2.0, 1.0]);
+    }
+}

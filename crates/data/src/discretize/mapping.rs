@@ -1,0 +1,35 @@
+//! Direct value-mapping discretization.
+
+use crate::database::Value;
+
+/// Discretizes a column by applying an arbitrary mapping function.
+///
+/// This covers schemes that are not threshold-based, such as the paper's
+/// Patient database (Table 3.2), which maps each raw value `aᵢ` to
+/// `⌊aᵢ/10⌋`. The mapping must return values in `1..=k` for the target
+/// database; [`crate::Database::from_columns`] enforces this downstream.
+pub fn discretize_by<F>(col: &[f64], f: F) -> Vec<Value>
+where
+    F: Fn(f64) -> Value,
+{
+    col.iter().map(|&x| f(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patient_database_floor_by_ten() {
+        // Paper Table 3.1 → 3.2: age 25 → 2, cholesterol 105 → 10, etc.
+        let ages = [25.0, 62.0, 32.0, 12.0, 38.0, 39.0, 41.0, 85.0];
+        let vals = discretize_by(&ages, |x| (x / 10.0).floor() as Value);
+        assert_eq!(vals, vec![2, 6, 3, 1, 3, 3, 4, 8]);
+    }
+
+    #[test]
+    fn arbitrary_closure() {
+        let vals = discretize_by(&[-1.0, 0.5, 2.0], |x| if x > 0.0 { 2 } else { 1 });
+        assert_eq!(vals, vec![1, 2, 2]);
+    }
+}

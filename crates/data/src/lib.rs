@@ -1,0 +1,48 @@
+//! Multi-valued attribute databases `D(A, O, V)` and discretization.
+//!
+//! The paper models any database as an `m × n` table whose rows are
+//! *observations* `O = {O₁..O_m}` and whose columns are *multi-valued
+//! attributes* `A = {A₁..A_n}`; every entry is a value from a fixed finite set
+//! `V = {1..k}` (Section 3.1). This crate provides:
+//!
+//! - [`Database`]: the columnar table, with validation and range slicing;
+//! - [`support`] / [`confidence`]: the support and confidence
+//!   measures of Definition 3.2 over [`Pattern`]s;
+//! - [`ValueIndex`]: per `(attribute, value)` observation bitsets enabling
+//!   counting of value combinations via word-level intersections — the
+//!   workhorse of association-hypergraph construction;
+//! - [`discretize`]: equi-depth k-threshold vectors (Section 5.1.1),
+//!   equi-width cuts, fixed cut points, and arbitrary mapping discretizers;
+//! - [`delta_series`]: the fractional-change transform for financial
+//!   time-series (Section 5.1.1).
+//!
+//! ```
+//! use hypermine_data::{Database, AttrId, support, confidence};
+//!
+//! // The paper's discretized Patient database (Table 3.2), columns
+//! // Age, Cholesterol, Blood-Pressure, Heart-Rate.
+//! let db = Database::from_rows(
+//!     vec!["A".into(), "C".into(), "B".into(), "H".into()],
+//!     16,
+//!     &[
+//!         [2, 10, 13, 7], [6, 16, 16, 8], [3, 12, 13, 7], [1, 9, 10, 6],
+//!         [3, 12, 13, 7], [3, 12, 11, 7], [4, 13, 14, 7], [8, 12, 15, 7],
+//!     ],
+//! ).unwrap();
+//!
+//! let x = [(AttrId::new(0), 3), (AttrId::new(1), 12)];
+//! let y = [(AttrId::new(2), 13)];
+//! assert!((support(&db, &x) - 0.375).abs() < 1e-12);
+//! assert!((confidence(&db, &x, &y).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+mod bitmap;
+mod database;
+mod delta;
+pub mod discretize;
+mod support;
+
+pub use bitmap::ValueIndex;
+pub use database::{AttrId, Database, DatabaseError, Value};
+pub use delta::{delta_matrix, delta_series};
+pub use support::{confidence, support, support_count, Pattern};

@@ -1,0 +1,136 @@
+//! Support and confidence of mva-type patterns (Definition 3.2).
+
+use crate::database::{AttrId, Database, Value};
+
+/// A pattern `X ⊆ A × V`: a set of `(attribute, value)` constraints.
+/// (The paper writes `{(A_{i1}, v_{j1}), …}`.)
+pub type Pattern = [(AttrId, Value)];
+
+/// Number of observations satisfying every `(attribute, value)` constraint
+/// in `x`. An empty pattern is satisfied by every observation.
+pub fn support_count(db: &Database, x: &Pattern) -> usize {
+    match x {
+        [] => db.num_obs(),
+        [(a, v)] => db.column(*a).iter().filter(|&&c| c == *v).count(),
+        _ => {
+            let mut count = 0;
+            'obs: for o in 0..db.num_obs() {
+                for &(a, v) in x {
+                    if db.value(a, o) != v {
+                        continue 'obs;
+                    }
+                }
+                count += 1;
+            }
+            count
+        }
+    }
+}
+
+/// `Supp(X)`: the fraction of observations satisfying `x`
+/// (Definition 3.2(1)). Zero for an empty database.
+pub fn support(db: &Database, x: &Pattern) -> f64 {
+    if db.num_obs() == 0 {
+        0.0
+    } else {
+        support_count(db, x) as f64 / db.num_obs() as f64
+    }
+}
+
+/// `Conf(X ⇒ Y) = Supp(X ∪ Y) / Supp(X)` (Definition 3.2(2)).
+///
+/// Returns `None` when `Supp(X) = 0` (the rule's antecedent never occurs).
+pub fn confidence(db: &Database, x: &Pattern, y: &Pattern) -> Option<f64> {
+    let sx = support_count(db, x);
+    if sx == 0 {
+        return None;
+    }
+    let mut xy: Vec<(AttrId, Value)> = Vec::with_capacity(x.len() + y.len());
+    xy.extend_from_slice(x);
+    xy.extend_from_slice(y);
+    Some(support_count(db, &xy) as f64 / sx as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    /// The paper's discretized Gene database (Table 3.4) with
+    /// ↓ = 1, ↔ = 2, ↑ = 3.
+    fn gene_db() -> Database {
+        Database::from_rows(
+            vec!["G1".into(), "G2".into(), "G3".into(), "G4".into()],
+            3,
+            &[
+                [1, 1, 2, 2],
+                [2, 1, 1, 3],
+                [1, 1, 1, 1],
+                [1, 1, 1, 3],
+                [2, 1, 1, 3],
+                [2, 1, 1, 3],
+                [2, 1, 1, 3],
+                [3, 1, 1, 3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_3_4_gene_rule() {
+        // X = {(G2, ↓), (G3, ↓)}, Y = {(G4, ↑)}:
+        // Supp(X) = 7/8, Conf = 6/7.
+        let db = gene_db();
+        let x = [(a(1), 1), (a(2), 1)];
+        let y = [(a(3), 3)];
+        assert!((support(&db, &x) - 0.875).abs() < 1e-12);
+        assert!((confidence(&db, &x, &y).unwrap() - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pattern_has_full_support() {
+        let db = gene_db();
+        assert_eq!(support_count(&db, &[]), 8);
+        assert_eq!(support(&db, &[]), 1.0);
+        // Conf(∅ ⇒ Y) = Supp(Y).
+        let y = [(a(3), 3)];
+        assert!((confidence(&db, &[], &y).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_support_antecedent() {
+        let db = gene_db();
+        let x = [(a(1), 3)]; // G2 never takes ↑
+        assert_eq!(support_count(&db, &x), 0);
+        assert_eq!(confidence(&db, &x, &[(a(0), 1)]), None);
+    }
+
+    #[test]
+    fn single_constraint_fast_path_matches_general() {
+        let db = gene_db();
+        for attr in db.attrs() {
+            for v in 1..=db.k() {
+                let single = support_count(&db, &[(attr, v)]);
+                // Force the general path with a redundant duplicate constraint.
+                let dup = support_count(&db, &[(attr, v), (attr, v)]);
+                assert_eq!(single, dup);
+            }
+        }
+    }
+
+    #[test]
+    fn contradictory_pattern_has_zero_support() {
+        let db = gene_db();
+        assert_eq!(support_count(&db, &[(a(0), 1), (a(0), 2)]), 0);
+    }
+
+    #[test]
+    fn support_on_empty_database() {
+        let db = Database::from_columns(vec!["x".into()], 3, vec![vec![]]).unwrap();
+        assert_eq!(support(&db, &[(a(0), 1)]), 0.0);
+        assert_eq!(support(&db, &[]), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage: `report [--scale tiny|default|full] [--seed N] [--only SECTION]`
+//! where SECTION is one of: stats, t51, t52, t53, t54, f51, f52, f53, f54.
+
+use hypermine_experiments::baselines::BaselineConfig;
+use hypermine_experiments::dominator_tables::{dominator_table, DominatorAlgorithm};
+use hypermine_experiments::{
+    config_stats, fig_5_1, fig_5_2, fig_5_3, fig_5_4, table_5_1, table_5_2, Configuration, Scale,
+    Scenario,
+};
+use std::time::Instant;
+
+fn parse_args() -> (Scale, u64, Option<String>) {
+    let mut scale = Scale::default_scale();
+    let mut seed = 7u64;
+    let mut only = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("tiny") => scale = Scale::tiny(),
+                Some("default") => scale = Scale::default_scale(),
+                Some("full") => scale = Scale::full(),
+                other => {
+                    eprintln!("unknown scale {other:?} (tiny|default|full)");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--only" => only = args.next(),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (scale, seed, only)
+}
+
+fn main() {
+    let (scale, seed, only) = parse_args();
+    let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
+    let t0 = Instant::now();
+    println!(
+        "== hypermine report: {} tickers, {} years, seed {seed} ==\n",
+        scale.tickers, scale.years
+    );
+
+    let scenario = Scenario::new(scale, seed);
+    let c1 = scenario.build(&Configuration::c1());
+    println!("[{:?}] C1 model built: {} edges", t0.elapsed(), c1.model.hypergraph().num_edges());
+    let c2 = scenario.build(&Configuration::c2());
+    println!("[{:?}] C2 model built: {} edges\n", t0.elapsed(), c2.model.hypergraph().num_edges());
+
+    if want("stats") {
+        println!("---- Section 5.1.2: configuration statistics ----");
+        println!("{}", config_stats::config_stats(&c1));
+        println!("{}", config_stats::config_stats(&c2));
+    }
+
+    if want("t51") {
+        println!("---- Table 5.1: top directed edge and 2-to-1 hyperedge ----");
+        for built in [&c1, &c2] {
+            for row in table_5_1::table_5_1(built, scenario.market.universe()) {
+                println!("{row}");
+            }
+        }
+        println!();
+    }
+
+    if want("t52") {
+        println!("---- Table 5.2: hyperedge vs constituent directed edges ----");
+        for built in [&c1, &c2] {
+            let rows = table_5_2::table_5_2(built);
+            let wins = rows.iter().filter(|r| r.hyperedge_wins()).count();
+            for row in &rows {
+                println!("{row}");
+            }
+            println!("  -> hyperedge beats both constituents in {wins}/{} rows", rows.len());
+        }
+        println!();
+    }
+
+    let baseline_cfg = BaselineConfig::default();
+    let fractions = [0.4, 0.3, 0.2];
+    if want("t53") {
+        println!("---- Table 5.3: dominators via Algorithm 5 ----");
+        for built in [&c1, &c2] {
+            for row in dominator_table(built, DominatorAlgorithm::DominatingSet, &fractions, &baseline_cfg) {
+                println!("{row}");
+            }
+        }
+        println!("[{:?}]\n", t0.elapsed());
+    }
+
+    if want("t54") {
+        println!("---- Table 5.4: dominators via Algorithm 6 (+ Enhancements 1 & 2) ----");
+        for built in [&c1, &c2] {
+            for row in dominator_table(built, DominatorAlgorithm::SetCover, &fractions, &baseline_cfg) {
+                println!("{row}");
+            }
+        }
+        println!("[{:?}]\n", t0.elapsed());
+    }
+
+    if want("f51") {
+        println!("{}", fig_5_1::degree_report(&c1, scenario.market.universe()));
+    }
+
+    if want("f52") {
+        println!("{}", fig_5_2::similarity_report(&scenario, &c1, 2000));
+    }
+
+    if want("f53") {
+        println!("{}", fig_5_3::cluster_report(&c1, scenario.market.universe()));
+    }
+
+    if want("f54") {
+        for report in [
+            fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::DominatingSet, 0.4),
+            fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::SetCover, 0.4),
+        ] {
+            println!("{report}");
+        }
+    }
+
+    println!("== done in {:?} ==", t0.elapsed());
+}

@@ -1,0 +1,68 @@
+//! Section 5.1.2: edge counts and mean ACVs per configuration.
+
+use crate::paper;
+use crate::scenario::BuiltConfig;
+use std::fmt;
+
+/// Measured counterpart of the paper's Section 5.1.2 statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigStatsReport {
+    pub name: &'static str,
+    pub num_directed_edges: usize,
+    pub mean_acv_directed: f64,
+    pub num_hyperedges: usize,
+    pub mean_acv_hyper: f64,
+}
+
+/// Computes the Section 5.1.2 statistics for a built configuration.
+pub fn config_stats(built: &BuiltConfig) -> ConfigStatsReport {
+    let s = built.model.stats();
+    ConfigStatsReport {
+        name: built.config.name,
+        num_directed_edges: s.num_directed_edges,
+        mean_acv_directed: s.mean_acv_directed.unwrap_or(0.0),
+        num_hyperedges: s.num_hyperedges,
+        mean_acv_hyper: s.mean_acv_hyper.unwrap_or(0.0),
+    }
+}
+
+impl fmt::Display for ConfigStatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let paper = paper::CONFIG_STATS.iter().find(|p| p.name == self.name);
+        writeln!(
+            f,
+            "{}: {} directed edges (mean ACV {:.3}), {} 2-to-1 hyperedges (mean ACV {:.3})",
+            self.name,
+            self.num_directed_edges,
+            self.mean_acv_directed,
+            self.num_hyperedges,
+            self.mean_acv_hyper
+        )?;
+        if let Some(p) = paper {
+            writeln!(
+                f,
+                "    paper ({}): {} directed edges (mean ACV {:.3}), {} hyperedges (mean ACV {:.3})",
+                p.name, p.num_directed_edges, p.mean_acv_directed, p.num_hyperedges, p.mean_acv_hyper
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Configuration, Scale, Scenario};
+
+    #[test]
+    fn stats_are_populated_and_displayed() {
+        let s = Scenario::new(Scale::tiny(), 5);
+        let b = s.build(&Configuration::c1());
+        let r = config_stats(&b);
+        assert!(r.num_directed_edges > 0);
+        assert!(r.mean_acv_directed > 0.0 && r.mean_acv_directed <= 1.0);
+        let text = r.to_string();
+        assert!(text.contains("C1"));
+        assert!(text.contains("paper"));
+    }
+}

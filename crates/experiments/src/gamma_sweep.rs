@@ -1,0 +1,134 @@
+//! γ-stability sweep (Section 5.1.2, reason (b) for the parameter choices):
+//! the paper picks γ values that are "stable — slight perturbations to
+//! these values do not result in significant changes to the numbers of
+//! directed edges and 2-to-1 directed hyperedges". This ablation measures
+//! exactly that curve.
+
+use hypermine_core::{AssociationModel, ModelConfig};
+use hypermine_data::Database;
+use std::fmt;
+
+/// Edge counts at one γ setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaPoint {
+    pub gamma_edge: f64,
+    pub gamma_hyper: f64,
+    pub directed_edges: usize,
+    pub hyperedges: usize,
+}
+
+/// A sweep over γ perturbations around a center configuration.
+#[derive(Debug, Clone)]
+pub struct GammaSweep {
+    pub points: Vec<GammaPoint>,
+}
+
+/// Builds the model at each `(γ₁, γ₂)` in the cross product of the given
+/// perturbations around `(center_edge, center_hyper)`.
+pub fn gamma_sweep(
+    db: &Database,
+    center_edge: f64,
+    center_hyper: f64,
+    deltas: &[f64],
+) -> GammaSweep {
+    let mut points = Vec::new();
+    for &de in deltas {
+        for &dh in deltas {
+            let gamma_edge = (center_edge + de).max(1.0);
+            let gamma_hyper = (center_hyper + dh).max(1.0);
+            let cfg = ModelConfig {
+                gamma_edge,
+                gamma_hyper,
+                ..ModelConfig::default()
+            };
+            let model = AssociationModel::build(db, &cfg).expect("gammas clamped to >= 1");
+            let stats = model.stats();
+            points.push(GammaPoint {
+                gamma_edge,
+                gamma_hyper,
+                directed_edges: stats.num_directed_edges,
+                hyperedges: stats.num_hyperedges,
+            });
+        }
+    }
+    GammaSweep { points }
+}
+
+impl GammaSweep {
+    /// Maximum relative change in edge counts across the sweep, as
+    /// `(directed, hyper)` — the paper's stability criterion quantified.
+    pub fn max_relative_change(&self) -> (f64, f64) {
+        let rel = |f: fn(&GammaPoint) -> usize| {
+            let vals: Vec<usize> = self.points.iter().map(f).collect();
+            let max = *vals.iter().max().unwrap_or(&0) as f64;
+            let min = *vals.iter().min().unwrap_or(&0) as f64;
+            if max == 0.0 {
+                0.0
+            } else {
+                (max - min) / max
+            }
+        };
+        (rel(|p| p.directed_edges), rel(|p| p.hyperedges))
+    }
+}
+
+impl fmt::Display for GammaSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gamma sweep (Section 5.1.2(b) stability):")?;
+        writeln!(f, "    γ1      γ2     directed   hyper")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "    {:.3}  {:.3}  {:>8}  {:>7}",
+                p.gamma_edge, p.gamma_hyper, p.directed_edges, p.hyperedges
+            )?;
+        }
+        let (rd, rh) = self.max_relative_change();
+        writeln!(
+            f,
+            "    max relative change: directed {:.0}%, hyper {:.0}%",
+            rd * 100.0,
+            rh * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Configuration, Scale, Scenario};
+
+    #[test]
+    fn sweep_monotone_in_gamma() {
+        let s = Scenario::new(Scale::tiny(), 21);
+        let b = s.build(&Configuration::c1());
+        let sweep = gamma_sweep(&b.train_db, 1.15, 1.05, &[-0.02, 0.0, 0.02]);
+        assert_eq!(sweep.points.len(), 9);
+        // Larger γ₁ (with γ₂ fixed) keeps no more directed edges.
+        let at = |ge: f64, gh: f64| {
+            sweep
+                .points
+                .iter()
+                .find(|p| (p.gamma_edge - ge).abs() < 1e-9 && (p.gamma_hyper - gh).abs() < 1e-9)
+                .copied()
+                .unwrap()
+        };
+        assert!(at(1.13, 1.05).directed_edges >= at(1.17, 1.05).directed_edges);
+        assert!(at(1.15, 1.03).hyperedges >= at(1.15, 1.07).hyperedges);
+        let (rd, rh) = sweep.max_relative_change();
+        assert!((0.0..=1.0).contains(&rd));
+        assert!((0.0..=1.0).contains(&rh));
+        let _ = sweep.to_string();
+    }
+
+    #[test]
+    fn gammas_clamped_to_one() {
+        let s = Scenario::new(Scale::tiny(), 21);
+        let b = s.build(&Configuration::c1());
+        let sweep = gamma_sweep(&b.train_db, 1.0, 1.0, &[-0.5, 0.0]);
+        assert!(sweep
+            .points
+            .iter()
+            .all(|p| p.gamma_edge >= 1.0 && p.gamma_hyper >= 1.0));
+    }
+}

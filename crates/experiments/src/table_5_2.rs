@@ -1,0 +1,122 @@
+//! Table 5.2: the top 2-to-1 directed hyperedge versus its two constituent
+//! directed edges — the paper's evidence that combining two predictors
+//! yields a strictly better predictor.
+
+use crate::paper::{self, SUBJECT_TICKERS};
+use crate::scenario::BuiltConfig;
+use hypermine_core::attr_of;
+use std::fmt;
+
+/// One measured row of Table 5.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table52Row {
+    pub config: &'static str,
+    pub subject: String,
+    /// `(tail1, tail2, ACV)` of the best 2-to-1 hyperedge.
+    pub hyperedge: (String, String, f64),
+    /// Raw ACV of directed edge `tail1 -> subject`.
+    pub edge1_acv: f64,
+    /// Raw ACV of directed edge `tail2 -> subject`.
+    pub edge2_acv: f64,
+}
+
+impl Table52Row {
+    /// The paper's headline property: the hyperedge beats both constituent
+    /// directed edges (Theorem 3.8 guarantees ≥; significance makes it >).
+    pub fn hyperedge_wins(&self) -> bool {
+        self.hyperedge.2 >= self.edge1_acv.max(self.edge2_acv)
+    }
+}
+
+/// Computes Table 5.2 rows. Constituent edge ACVs come from the model's raw
+/// ACV matrix, so they are shown even when an individual directed edge
+/// failed its γ test (exactly as the paper's table displays them).
+pub fn table_5_2(built: &BuiltConfig) -> Vec<Table52Row> {
+    let mut rows = Vec::new();
+    for &(symbol, _) in &SUBJECT_TICKERS {
+        let Some(subject) = built.model.attr_by_name(symbol) else {
+            continue;
+        };
+        let Some(best) = built.model.best_in_hyperedge(subject) else {
+            continue;
+        };
+        let edge = built.model.hypergraph().edge(best);
+        let t1 = attr_of(edge.tail()[0]);
+        let t2 = attr_of(edge.tail()[1]);
+        rows.push(Table52Row {
+            config: built.config.name,
+            subject: symbol.to_string(),
+            hyperedge: (
+                built.model.attr_name(t1).to_string(),
+                built.model.attr_name(t2).to_string(),
+                edge.weight(),
+            ),
+            edge1_acv: built.model.raw_edge_acv(t1, subject),
+            edge2_acv: built.model.raw_edge_acv(t2, subject),
+        });
+    }
+    rows
+}
+
+impl fmt::Display for Table52Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let paper_row = paper::TABLE_5_2_C1
+            .iter()
+            .find(|p| p.subject == self.subject && self.config == "C1");
+        write!(
+            f,
+            "{:>5} [{}]  {}, {} -> {} ({:.2})  |  {} -> {} ({:.2})  {} -> {} ({:.2})",
+            self.subject,
+            self.config,
+            self.hyperedge.0,
+            self.hyperedge.1,
+            self.subject,
+            self.hyperedge.2,
+            self.hyperedge.0,
+            self.subject,
+            self.edge1_acv,
+            self.hyperedge.1,
+            self.subject,
+            self.edge2_acv,
+        )?;
+        if let Some(p) = paper_row {
+            write!(
+                f,
+                "   [paper C1: {:.2} vs {:.2}/{:.2}]",
+                p.hyper_acv, p.edge1_acv, p.edge2_acv
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Configuration, Scale, Scenario};
+
+    #[test]
+    fn hyperedges_beat_their_constituents() {
+        let s = Scenario::new(
+            Scale {
+                tickers: 80,
+                years: 3,
+            },
+            5,
+        );
+        let b = s.build(&Configuration::c1());
+        let rows = table_5_2(&b);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.hyperedge_wins(),
+                "{}: hyper {:.3} vs edges {:.3}/{:.3}",
+                r.subject,
+                r.hyperedge.2,
+                r.edge1_acv,
+                r.edge2_acv
+            );
+            let _ = r.to_string();
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Node/edge identifiers and the [`Hyperedge`] type.
+
+use std::fmt;
+
+/// Identifier of a node (an attribute, in the association-mining layer).
+///
+/// A `NodeId` is an index into the owning [`crate::DirectedHypergraph`]'s
+/// node range `0..num_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a directed hyperedge within its hypergraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A weighted directed hyperedge `(T, H)`.
+///
+/// Invariants (enforced by [`crate::DirectedHypergraph::add_edge`]):
+/// `T ≠ ∅`, `H ≠ ∅`, `T ∩ H = ∅`, and both slices are sorted and duplicate
+/// free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperedge {
+    tail: Box<[NodeId]>,
+    head: Box<[NodeId]>,
+    weight: f64,
+}
+
+impl Hyperedge {
+    pub(crate) fn new_unchecked(tail: Box<[NodeId]>, head: Box<[NodeId]>, weight: f64) -> Self {
+        Hyperedge { tail, head, weight }
+    }
+
+    /// The tail (source) set, sorted ascending.
+    #[inline]
+    pub fn tail(&self) -> &[NodeId] {
+        &self.tail
+    }
+
+    /// The head (destination) set, sorted ascending.
+    #[inline]
+    pub fn head(&self) -> &[NodeId] {
+        &self.head
+    }
+
+    /// The edge weight (an ACV in the association-mining layer).
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    pub(crate) fn set_weight(&mut self, w: f64) {
+        self.weight = w;
+    }
+
+    /// `|T|`, the tail cardinality.
+    #[inline]
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// `|H|`, the head cardinality.
+    #[inline]
+    pub fn head_len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True if `v ∈ T`.
+    #[inline]
+    pub fn tail_contains(&self, v: NodeId) -> bool {
+        self.tail.binary_search(&v).is_ok()
+    }
+
+    /// True if `v ∈ H`.
+    #[inline]
+    pub fn head_contains(&self, v: NodeId) -> bool {
+        self.head.binary_search(&v).is_ok()
+    }
+
+    /// True if this is a plain directed edge (`|T| = |H| = 1`).
+    #[inline]
+    pub fn is_simple(&self) -> bool {
+        self.tail.len() == 1 && self.head.len() == 1
+    }
+}
+
+impl fmt::Display for Hyperedge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({{")?;
+        for (i, t) in self.tail.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}} -> {{")?;
+        for (i, h) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, "}}; w={})", self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.raw(), 7);
+        assert_eq!(NodeId::from(7u32), n);
+        assert_eq!(n.to_string(), "v7");
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let e = Hyperedge::new_unchecked(
+            vec![NodeId::new(0), NodeId::new(2)].into(),
+            vec![NodeId::new(5)].into(),
+            0.25,
+        );
+        assert_eq!(e.tail_len(), 2);
+        assert_eq!(e.head_len(), 1);
+        assert!(e.tail_contains(NodeId::new(2)));
+        assert!(!e.tail_contains(NodeId::new(5)));
+        assert!(e.head_contains(NodeId::new(5)));
+        assert!(!e.is_simple());
+        assert_eq!(e.weight(), 0.25);
+        assert_eq!(e.to_string(), "({v0,v2} -> {v5}; w=0.25)");
+    }
+
+    #[test]
+    fn simple_edge_detection() {
+        let e = Hyperedge::new_unchecked(
+            vec![NodeId::new(1)].into(),
+            vec![NodeId::new(2)].into(),
+            1.0,
+        );
+        assert!(e.is_simple());
+    }
+}

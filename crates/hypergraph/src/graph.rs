@@ -1,0 +1,421 @@
+//! The [`DirectedHypergraph`] container.
+
+use crate::edge::{EdgeId, Hyperedge, NodeId};
+use crate::fx::FxHashMap;
+use std::fmt;
+
+/// Errors raised while mutating a [`DirectedHypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// A tail or head set was empty (violates Definition 2.9).
+    EmptySet,
+    /// Tail and head sets intersect (violates `T ∩ H = ∅`).
+    Overlap(NodeId),
+    /// A node id was outside `0..num_nodes`.
+    NodeOutOfRange(NodeId),
+    /// An edge with the identical `(T, H)` pair already exists.
+    DuplicateEdge(EdgeId),
+    /// A tail or head set contained the same node twice.
+    DuplicateNode(NodeId),
+    /// Weight was not a finite number.
+    NonFiniteWeight,
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::EmptySet => write!(f, "tail and head sets must be non-empty"),
+            HypergraphError::Overlap(v) => write!(f, "node {v} appears in both tail and head"),
+            HypergraphError::NodeOutOfRange(v) => write!(f, "node {v} is out of range"),
+            HypergraphError::DuplicateEdge(e) => {
+                write!(f, "an edge with this (tail, head) already exists as {e}")
+            }
+            HypergraphError::DuplicateNode(v) => {
+                write!(f, "node {v} appears more than once in the same set")
+            }
+            HypergraphError::NonFiniteWeight => write!(f, "edge weight must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+/// Key identifying an edge by its `(tail, head)` node sets (both sorted).
+type EdgeKey = (Box<[NodeId]>, Box<[NodeId]>);
+
+/// A weighted directed hypergraph over a fixed node range `0..num_nodes`.
+///
+/// Maintains incidence indexes in both directions:
+/// - `out_edges(v)`: edges whose **tail** contains `v` (the forward star);
+/// - `in_edges(v)`: edges whose **head** contains `v` (the backward star);
+///
+/// plus an exact-match index from `(tail, head)` to [`EdgeId`], used heavily
+/// by the association-similarity computation (switching one node of a tail or
+/// head and asking whether the resulting hyperedge exists).
+#[derive(Debug, Clone, Default)]
+pub struct DirectedHypergraph {
+    num_nodes: usize,
+    edges: Vec<Hyperedge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+    index: FxHashMap<EdgeKey, EdgeId>,
+}
+
+impl DirectedHypergraph {
+    /// Creates an empty hypergraph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        DirectedHypergraph {
+            num_nodes,
+            edges: Vec::new(),
+            out_edges: vec![Vec::new(); num_nodes],
+            in_edges: vec![Vec::new(); num_nodes],
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty hypergraph, pre-allocating for `num_edges` edges.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        let mut g = Self::new(num_nodes);
+        g.edges.reserve(num_edges);
+        g.index.reserve(num_edges);
+        g
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed hyperedges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids, in order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes as u32).map(NodeId::new)
+    }
+
+    /// All `(EdgeId, &Hyperedge)` pairs, in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i as u32), e))
+    }
+
+    /// The edge with the given id. Panics if out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
+        &self.edges[id.index()]
+    }
+
+    /// Forward star: ids of edges whose tail contains `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Backward star: ids of edges whose head contains `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edges[v.index()]
+    }
+
+    fn validate_set(&self, set: &[NodeId]) -> Result<Box<[NodeId]>, HypergraphError> {
+        if set.is_empty() {
+            return Err(HypergraphError::EmptySet);
+        }
+        let mut sorted: Vec<NodeId> = set.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(HypergraphError::DuplicateNode(w[0]));
+            }
+        }
+        for &v in &sorted {
+            if v.index() >= self.num_nodes {
+                return Err(HypergraphError::NodeOutOfRange(v));
+            }
+        }
+        Ok(sorted.into_boxed_slice())
+    }
+
+    /// Adds the directed hyperedge `(tail, head)` with the given weight.
+    ///
+    /// Input slices may be unsorted; they are sorted and validated against
+    /// Definition 2.9 (non-empty, disjoint, duplicate-free, in range). At most
+    /// one edge may exist per `(T, H)` pair.
+    pub fn add_edge(
+        &mut self,
+        tail: &[NodeId],
+        head: &[NodeId],
+        weight: f64,
+    ) -> Result<EdgeId, HypergraphError> {
+        if !weight.is_finite() {
+            return Err(HypergraphError::NonFiniteWeight);
+        }
+        let tail = self.validate_set(tail)?;
+        let head = self.validate_set(head)?;
+        // Both sorted: linear disjointness check.
+        let (mut i, mut j) = (0, 0);
+        while i < tail.len() && j < head.len() {
+            match tail[i].cmp(&head[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Err(HypergraphError::Overlap(tail[i])),
+            }
+        }
+        let key: EdgeKey = (tail.clone(), head.clone());
+        if let Some(&existing) = self.index.get(&key) {
+            return Err(HypergraphError::DuplicateEdge(existing));
+        }
+        let id = EdgeId::new(self.edges.len() as u32);
+        for &t in tail.iter() {
+            self.out_edges[t.index()].push(id);
+        }
+        for &h in head.iter() {
+            self.in_edges[h.index()].push(id);
+        }
+        self.index.insert(key, id);
+        self.edges.push(Hyperedge::new_unchecked(tail, head, weight));
+        Ok(id)
+    }
+
+    /// Finds the edge with exactly this `(tail, head)` pair, if present.
+    /// Inputs may be unsorted.
+    pub fn find_edge(&self, tail: &[NodeId], head: &[NodeId]) -> Option<EdgeId> {
+        let mut t: Vec<NodeId> = tail.to_vec();
+        let mut h: Vec<NodeId> = head.to_vec();
+        t.sort_unstable();
+        h.sort_unstable();
+        self.index
+            .get(&(t.into_boxed_slice(), h.into_boxed_slice()))
+            .copied()
+    }
+
+    /// Returns true if an edge with exactly this `(tail, head)` pair exists.
+    pub fn contains_edge(&self, tail: &[NodeId], head: &[NodeId]) -> bool {
+        self.find_edge(tail, head).is_some()
+    }
+
+    /// Updates the weight of an existing edge.
+    pub fn set_weight(&mut self, id: EdgeId, weight: f64) -> Result<(), HypergraphError> {
+        if !weight.is_finite() {
+            return Err(HypergraphError::NonFiniteWeight);
+        }
+        self.edges[id.index()].set_weight(weight);
+        Ok(())
+    }
+
+    /// Weighted in-degree of `v`: `Σ_{e : v ∈ H(e)} w(e) / |H(e)|`.
+    ///
+    /// With single-head edges this is exactly the paper's
+    /// `Σ_{e : {v} = H(e)} w(e)` (Section 5.2).
+    pub fn weighted_in_degree(&self, v: NodeId) -> f64 {
+        self.in_edges(v)
+            .iter()
+            .map(|&e| {
+                let e = self.edge(e);
+                e.weight() / e.head_len() as f64
+            })
+            .sum()
+    }
+
+    /// Weighted out-degree of `v`: `Σ_{e : v ∈ T(e)} w(e) / |T(e)|`
+    /// (the paper's normalized out-degree, Section 5.2).
+    pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
+        self.out_edges(v)
+            .iter()
+            .map(|&e| {
+                let e = self.edge(e);
+                e.weight() / e.tail_len() as f64
+            })
+            .sum()
+    }
+
+    /// Unweighted in-degree (number of edges with `v` in the head).
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Unweighted out-degree (number of edges with `v` in the tail).
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// Builds a new hypergraph over the same nodes keeping only edges
+    /// satisfying `pred`. Edge ids are *not* preserved.
+    pub fn filter_edges<F>(&self, mut pred: F) -> DirectedHypergraph
+    where
+        F: FnMut(EdgeId, &Hyperedge) -> bool,
+    {
+        let mut g = DirectedHypergraph::new(self.num_nodes);
+        for (id, e) in self.edges() {
+            if pred(id, e) {
+                g.add_edge(e.tail(), e.head(), e.weight())
+                    .expect("edges of a valid hypergraph stay valid");
+            }
+        }
+        g
+    }
+
+    /// Keeps the edges whose weight is at least `min_weight`.
+    pub fn filter_by_weight(&self, min_weight: f64) -> DirectedHypergraph {
+        self.filter_edges(|_, e| e.weight() >= min_weight)
+    }
+
+    /// The weight value such that keeping edges with `w ≥ threshold` retains
+    /// (approximately) the top `fraction` of edges by weight. Returns `None`
+    /// for an empty graph or a non-positive fraction.
+    ///
+    /// This implements the paper's "top X% directed hyperedges w.r.t. ACVs"
+    /// threshold selection (Section 5.4).
+    pub fn weight_percentile_threshold(&self, fraction: f64) -> Option<f64> {
+        if self.edges.is_empty() || fraction <= 0.0 {
+            return None;
+        }
+        let mut ws: Vec<f64> = self.edges.iter().map(|e| e.weight()).collect();
+        ws.sort_unstable_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        let keep = ((ws.len() as f64 * fraction).ceil() as usize).clamp(1, ws.len());
+        Some(ws[keep - 1])
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight()).sum()
+    }
+
+    /// Mean edge weight, or `None` if there are no edges.
+    pub fn mean_weight(&self) -> Option<f64> {
+        if self.edges.is_empty() {
+            None
+        } else {
+            Some(self.total_weight() / self.edges.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut g = DirectedHypergraph::new(5);
+        let e0 = g.add_edge(&[n(1), n(0)], &[n(2)], 0.5).unwrap();
+        let e1 = g.add_edge(&[n(0)], &[n(3)], 0.9).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // Unsorted query finds the sorted edge.
+        assert_eq!(g.find_edge(&[n(1), n(0)], &[n(2)]), Some(e0));
+        assert_eq!(g.find_edge(&[n(0), n(1)], &[n(2)]), Some(e0));
+        assert_eq!(g.find_edge(&[n(0)], &[n(3)]), Some(e1));
+        assert_eq!(g.find_edge(&[n(0)], &[n(2)]), None);
+        assert_eq!(g.edge(e0).tail(), &[n(0), n(1)]);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = DirectedHypergraph::new(3);
+        assert_eq!(g.add_edge(&[], &[n(0)], 1.0), Err(HypergraphError::EmptySet));
+        assert_eq!(g.add_edge(&[n(0)], &[], 1.0), Err(HypergraphError::EmptySet));
+        assert_eq!(
+            g.add_edge(&[n(0), n(1)], &[n(1)], 1.0),
+            Err(HypergraphError::Overlap(n(1)))
+        );
+        assert_eq!(
+            g.add_edge(&[n(7)], &[n(0)], 1.0),
+            Err(HypergraphError::NodeOutOfRange(n(7)))
+        );
+        assert_eq!(
+            g.add_edge(&[n(0), n(0)], &[n(1)], 1.0),
+            Err(HypergraphError::DuplicateNode(n(0)))
+        );
+        assert_eq!(
+            g.add_edge(&[n(0)], &[n(1)], f64::NAN),
+            Err(HypergraphError::NonFiniteWeight)
+        );
+        let e = g.add_edge(&[n(0)], &[n(1)], 1.0).unwrap();
+        assert_eq!(
+            g.add_edge(&[n(0)], &[n(1)], 0.2),
+            Err(HypergraphError::DuplicateEdge(e))
+        );
+        // Same tail, different head is fine.
+        assert!(g.add_edge(&[n(0)], &[n(2)], 0.2).is_ok());
+    }
+
+    #[test]
+    fn incidence_indexes() {
+        let mut g = DirectedHypergraph::new(4);
+        let e0 = g.add_edge(&[n(0), n(1)], &[n(2)], 0.4).unwrap();
+        let e1 = g.add_edge(&[n(0)], &[n(2)], 0.6).unwrap();
+        let e2 = g.add_edge(&[n(2)], &[n(0)], 0.1).unwrap();
+        assert_eq!(g.out_edges(n(0)), &[e0, e1]);
+        assert_eq!(g.out_edges(n(1)), &[e0]);
+        assert_eq!(g.in_edges(n(2)), &[e0, e1]);
+        assert_eq!(g.in_edges(n(0)), &[e2]);
+        assert_eq!(g.out_degree(n(0)), 2);
+        assert_eq!(g.in_degree(n(2)), 2);
+    }
+
+    #[test]
+    fn weighted_degrees() {
+        let mut g = DirectedHypergraph::new(4);
+        g.add_edge(&[n(0), n(1)], &[n(2)], 0.8).unwrap();
+        g.add_edge(&[n(0)], &[n(2)], 0.5).unwrap();
+        g.add_edge(&[n(3)], &[n(0)], 0.25).unwrap();
+        // in-degree(2) = 0.8 + 0.5; out-degree(0) = 0.8/2 + 0.5.
+        assert!((g.weighted_in_degree(n(2)) - 1.3).abs() < 1e-12);
+        assert!((g.weighted_out_degree(n(0)) - 0.9).abs() < 1e-12);
+        assert_eq!(g.weighted_in_degree(n(1)), 0.0);
+        assert!((g.weighted_out_degree(n(1)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_and_percentile() {
+        let mut g = DirectedHypergraph::new(3);
+        g.add_edge(&[n(0)], &[n(1)], 0.2).unwrap();
+        g.add_edge(&[n(1)], &[n(2)], 0.5).unwrap();
+        g.add_edge(&[n(0)], &[n(2)], 0.8).unwrap();
+        g.add_edge(&[n(2)], &[n(0)], 0.9).unwrap();
+
+        let top_half = g.weight_percentile_threshold(0.5).unwrap();
+        assert_eq!(top_half, 0.8);
+        let f = g.filter_by_weight(top_half);
+        assert_eq!(f.num_edges(), 2);
+        assert!(f.contains_edge(&[n(0)], &[n(2)]));
+        assert!(f.contains_edge(&[n(2)], &[n(0)]));
+
+        assert_eq!(g.weight_percentile_threshold(0.0), None);
+        assert_eq!(DirectedHypergraph::new(2).weight_percentile_threshold(0.5), None);
+        // fraction > 1 keeps everything.
+        assert_eq!(g.weight_percentile_threshold(2.0), Some(0.2));
+    }
+
+    #[test]
+    fn mean_weight_empty_and_nonempty() {
+        let mut g = DirectedHypergraph::new(2);
+        assert_eq!(g.mean_weight(), None);
+        g.add_edge(&[n(0)], &[n(1)], 0.4).unwrap();
+        g.add_edge(&[n(1)], &[n(0)], 0.6).unwrap();
+        assert!((g.mean_weight().unwrap() - 0.5).abs() < 1e-12);
+        assert!((g.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_head_edges_supported() {
+        // The general model (Def 2.9) allows |H| > 1 even though the
+        // association layer restricts to |H| = 1.
+        let mut g = DirectedHypergraph::new(5);
+        g.add_edge(&[n(0)], &[n(1), n(2)], 0.6).unwrap();
+        assert_eq!(g.in_degree(n(1)), 1);
+        assert_eq!(g.in_degree(n(2)), 1);
+        assert!((g.weighted_in_degree(n(1)) - 0.3).abs() < 1e-12);
+    }
+}

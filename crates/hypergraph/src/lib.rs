@@ -1,0 +1,33 @@
+//! Directed hypergraph substrate.
+//!
+//! A *directed hypergraph* `H = (V, E)` generalizes a directed graph: each
+//! directed hyperedge `e = (T, H)` has a non-empty **tail set** `T ⊆ V` and a
+//! non-empty **head set** `H ⊆ V` with `T ∩ H = ∅` (Gallo et al. 1993,
+//! Definition 2.9 of the paper). Edges carry an `f64` weight; the association
+//! mining layer stores association confidence values (ACVs) there.
+//!
+//! The central type is [`DirectedHypergraph`]:
+//!
+//! ```
+//! use hypermine_hypergraph::{DirectedHypergraph, NodeId};
+//!
+//! let mut h = DirectedHypergraph::new(4);
+//! let n = |i| NodeId::new(i);
+//! h.add_edge(&[n(0), n(1)], &[n(2)], 0.8).unwrap();
+//! h.add_edge(&[n(2)], &[n(3)], 0.5).unwrap();
+//!
+//! assert_eq!(h.num_edges(), 2);
+//! // Both tail nodes known => head 2 becomes B-reachable, then 3.
+//! let reach = hypermine_hypergraph::b_reachable(&h, &[n(0), n(1)]);
+//! assert!(reach[2] && reach[3]);
+//! ```
+
+mod edge;
+pub mod fx;
+mod graph;
+pub mod stats;
+mod traversal;
+
+pub use edge::{EdgeId, Hyperedge, NodeId};
+pub use graph::{DirectedHypergraph, HypergraphError};
+pub use traversal::{b_reachable, one_step_cover};

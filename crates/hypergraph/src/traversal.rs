@@ -1,0 +1,138 @@
+//! Reachability in directed hypergraphs.
+//!
+//! Two notions matter for the association-mining layer:
+//!
+//! - **B-reachability** (standard in the directed-hypergraph literature,
+//!   Gallo et al. 1993): a head becomes reachable only once *all* tail nodes
+//!   of some edge are reachable. This models "knowing the values of all of T
+//!   lets us infer H" transitively.
+//! - **One-step cover** (Definition 4.1 of the paper): `u` is covered by a
+//!   set `X` if `u ∈ X` or some edge `e` has `T(e) ⊆ X` and `u ∈ H(e)`.
+//!   This is the non-transitive variant used by the dominator algorithms.
+
+use crate::edge::NodeId;
+use crate::graph::DirectedHypergraph;
+
+/// Computes B-reachability from `sources`.
+///
+/// Returns a boolean vector indexed by node: `true` if the node is reachable
+/// from `sources` where a hyperedge `e` "fires" only when every node in
+/// `T(e)` is already reachable, making all of `H(e)` reachable.
+///
+/// Runs in `O(|V| + Σ_e (|T(e)| + |H(e)|))`.
+pub fn b_reachable(g: &DirectedHypergraph, sources: &[NodeId]) -> Vec<bool> {
+    let mut reached = vec![false; g.num_nodes()];
+    // Remaining unreached tail nodes per edge.
+    let mut missing: Vec<usize> = g.edges().map(|(_, e)| e.tail_len()).collect();
+    let mut queue: Vec<NodeId> = Vec::new();
+
+    for &s in sources {
+        if s.index() < g.num_nodes() && !reached[s.index()] {
+            reached[s.index()] = true;
+            queue.push(s);
+        }
+    }
+
+    while let Some(v) = queue.pop() {
+        for &eid in g.out_edges(v) {
+            let m = &mut missing[eid.index()];
+            *m -= 1;
+            if *m == 0 {
+                for &h in g.edge(eid).head() {
+                    if !reached[h.index()] {
+                        reached[h.index()] = true;
+                        queue.push(h);
+                    }
+                }
+            }
+        }
+    }
+    reached
+}
+
+/// Computes the paper's one-step cover of `x` (Definition 4.1): the set of
+/// nodes `u` such that `u ∈ X`, or some edge `e` satisfies `T(e) ⊆ X` and
+/// `u ∈ H(e)`.
+///
+/// Returns a boolean vector indexed by node.
+pub fn one_step_cover(g: &DirectedHypergraph, x: &[NodeId]) -> Vec<bool> {
+    let mut in_x = vec![false; g.num_nodes()];
+    for &v in x {
+        if v.index() < g.num_nodes() {
+            in_x[v.index()] = true;
+        }
+    }
+    let mut covered = in_x.clone();
+    for (_, e) in g.edges() {
+        if e.tail().iter().all(|t| in_x[t.index()]) {
+            for &h in e.head() {
+                covered[h.index()] = true;
+            }
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Chain: {0,1} -> 2, {2} -> 3, {3,4} -> 5.
+    fn chain() -> DirectedHypergraph {
+        let mut g = DirectedHypergraph::new(6);
+        g.add_edge(&[n(0), n(1)], &[n(2)], 1.0).unwrap();
+        g.add_edge(&[n(2)], &[n(3)], 1.0).unwrap();
+        g.add_edge(&[n(3), n(4)], &[n(5)], 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn b_reachability_requires_full_tail() {
+        let g = chain();
+        // Only node 0: edge {0,1}->2 cannot fire.
+        let r = b_reachable(&g, &[n(0)]);
+        assert_eq!(r, vec![true, false, false, false, false, false]);
+        // 0 and 1: 2 and 3 fire, but 5 needs 4 too.
+        let r = b_reachable(&g, &[n(0), n(1)]);
+        assert_eq!(r, vec![true, true, true, true, false, false]);
+        // Adding 4 completes the chain.
+        let r = b_reachable(&g, &[n(0), n(1), n(4)]);
+        assert!(r.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn b_reachability_ignores_out_of_range_sources() {
+        let g = chain();
+        let r = b_reachable(&g, &[NodeId::new(99)]);
+        assert!(r.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn one_step_cover_is_not_transitive() {
+        let g = chain();
+        // {0,1} covers 2 in one step, but not 3 (that needs 2 in X).
+        let c = one_step_cover(&g, &[n(0), n(1)]);
+        assert_eq!(c, vec![true, true, true, false, false, false]);
+        let c = one_step_cover(&g, &[n(2)]);
+        assert_eq!(c, vec![false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let g = chain();
+        assert!(b_reachable(&g, &[]).iter().all(|&b| !b));
+        assert!(one_step_cover(&g, &[]).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn duplicate_sources_are_harmless() {
+        let g = chain();
+        let r1 = b_reachable(&g, &[n(0), n(0), n(1), n(1)]);
+        let r2 = b_reachable(&g, &[n(0), n(1)]);
+        assert_eq!(r1, r2);
+    }
+}

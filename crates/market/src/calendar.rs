@@ -1,0 +1,67 @@
+//! A simplified trading calendar.
+//!
+//! The paper's data runs Jan 1, 1995 – Dec 21, 2009, with in-sample windows
+//! growing one calendar year at a time (Figure 5.4). We model a year as a
+//! fixed 252 trading days, which preserves everything the experiments need:
+//! consistent year boundaries for train/test splits.
+
+use std::ops::Range;
+
+/// Trading days per calendar year.
+pub const TRADING_DAYS_PER_YEAR: usize = 252;
+
+/// The first year of the simulated sample (the paper's data starts 1995).
+pub const START_YEAR: i32 = 1995;
+
+/// The calendar year containing trading day `day` (0-based from Jan 1 of
+/// `START_YEAR`).
+pub fn year_of_day(day: usize) -> i32 {
+    START_YEAR + (day / TRADING_DAYS_PER_YEAR) as i32
+}
+
+/// The day range (0-based, half-open) spanned by calendar years
+/// `from_year..=to_year`. Empty if the range is inverted or precedes
+/// `START_YEAR`.
+pub fn day_range(from_year: i32, to_year: i32) -> Range<usize> {
+    if to_year < from_year || to_year < START_YEAR {
+        return 0..0;
+    }
+    let from = (from_year.max(START_YEAR) - START_YEAR) as usize * TRADING_DAYS_PER_YEAR;
+    let to = (to_year - START_YEAR + 1) as usize * TRADING_DAYS_PER_YEAR;
+    from..to
+}
+
+/// Number of trading days in `years` whole years.
+pub fn days_in_years(years: usize) -> usize {
+    years * TRADING_DAYS_PER_YEAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_boundaries() {
+        assert_eq!(year_of_day(0), 1995);
+        assert_eq!(year_of_day(251), 1995);
+        assert_eq!(year_of_day(252), 1996);
+        assert_eq!(year_of_day(252 * 15 - 1), 2009);
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(day_range(1995, 1995), 0..252);
+        assert_eq!(day_range(1996, 2008), 252..252 * 14);
+        assert_eq!(day_range(2009, 2009), 252 * 14..252 * 15);
+        assert!(day_range(2000, 1999).is_empty());
+        assert!(day_range(1990, 1994).is_empty());
+        // Years before START_YEAR are clamped.
+        assert_eq!(day_range(1990, 1995), 0..252);
+    }
+
+    #[test]
+    fn days_in_years_multiples() {
+        assert_eq!(days_in_years(0), 0);
+        assert_eq!(days_in_years(2), 504);
+    }
+}

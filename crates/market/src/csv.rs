@@ -1,0 +1,145 @@
+//! Tiny CSV persistence for price matrices.
+//!
+//! Format: header row `day,SYM1,SYM2,…`, then one row per day with the
+//! 0-based day index and one closing price per ticker. Hand-rolled — the
+//! format is fully under our control, so a dependency would buy nothing.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes symbols and their price series (`prices[ticker][day]`) to a
+/// CSV string.
+///
+/// # Panics
+/// Panics if series lengths differ from each other or from `symbols`.
+pub fn to_csv(symbols: &[String], prices: &[Vec<f64>]) -> String {
+    assert_eq!(symbols.len(), prices.len(), "one series per symbol");
+    let days = prices.first().map_or(0, Vec::len);
+    assert!(
+        prices.iter().all(|p| p.len() == days),
+        "all series must be equally long"
+    );
+    let mut out = String::from("day");
+    for s in symbols {
+        assert!(!s.contains(','), "symbols must not contain commas");
+        let _ = write!(out, ",{s}");
+    }
+    out.push('\n');
+    for d in 0..days {
+        let _ = write!(out, "{d}");
+        for p in prices {
+            let _ = write!(out, ",{}", p[d]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the CSV produced by [`to_csv`]. Returns `(symbols, prices)`.
+pub fn from_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<f64>>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    let mut cols = header.split(',');
+    if cols.next() != Some("day") {
+        return Err("header must start with 'day'".into());
+    }
+    let symbols: Vec<String> = cols.map(str::to_string).collect();
+    if symbols.is_empty() {
+        return Err("no ticker columns".into());
+    }
+    let mut prices: Vec<Vec<f64>> = vec![Vec::new(); symbols.len()];
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let _day = fields.next();
+        let mut count = 0;
+        for (i, f) in fields.enumerate() {
+            if i >= symbols.len() {
+                return Err(format!("row {} has too many fields", lineno + 2));
+            }
+            let v: f64 = f
+                .parse()
+                .map_err(|e| format!("row {}: bad number {f:?}: {e}", lineno + 2))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("row {}: non-positive price {v}", lineno + 2));
+            }
+            prices[i].push(v);
+            count += 1;
+        }
+        if count != symbols.len() {
+            return Err(format!("row {} has too few fields", lineno + 2));
+        }
+    }
+    Ok((symbols, prices))
+}
+
+/// Writes prices to a CSV file.
+pub fn write_csv(path: &Path, symbols: &[String], prices: &[Vec<f64>]) -> io::Result<()> {
+    fs::write(path, to_csv(symbols, prices))
+}
+
+/// Reads prices from a CSV file.
+pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Vec<Vec<f64>>)> {
+    let text = fs::read_to_string(path)?;
+    from_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let symbols = vec!["AAA".to_string(), "BBB".to_string()];
+        let prices = vec![vec![1.0, 1.5, 2.0], vec![10.0, 9.5, 9.0]];
+        let csv = to_csv(&symbols, &prices);
+        let (s2, p2) = from_csv(&csv).unwrap();
+        assert_eq!(s2, symbols);
+        assert_eq!(p2, prices);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hypermine_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prices.csv");
+        let symbols = vec!["X".to_string()];
+        let prices = vec![vec![5.0, 6.0]];
+        write_csv(&path, &symbols, &prices).unwrap();
+        let (s, p) = read_csv(&path).unwrap();
+        assert_eq!(s, symbols);
+        assert_eq!(p, prices);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("nope,A\n0,1.0\n").is_err());
+        assert!(from_csv("day\n").is_err());
+        assert!(from_csv("day,A\n0,abc\n").is_err());
+        assert!(from_csv("day,A\n0,-3\n").is_err());
+        assert!(from_csv("day,A,B\n0,1.0\n").is_err());
+        assert!(from_csv("day,A\n0,1.0,2.0\n").is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let (s, p) = from_csv("day,A\n0,1.0\n\n1,2.0\n").unwrap();
+        assert_eq!(s, vec!["A".to_string()]);
+        assert_eq!(p, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn ragged_series_panic() {
+        to_csv(
+            &["A".to_string(), "B".to_string()],
+            &[vec![1.0], vec![1.0, 2.0]],
+        );
+    }
+}

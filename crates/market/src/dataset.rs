@@ -1,0 +1,141 @@
+//! Bridging markets to mined databases.
+//!
+//! Reproduces Section 5.1.1 end to end: prices → delta series → equi-depth
+//! discretization with k-threshold vectors → a `Database` whose attributes
+//! are the tickers and whose observations are trading days.
+
+use crate::model::Market;
+use hypermine_data::discretize::{
+    apply_thresholds, discretize_columns, EquiDepth, ThresholdVector,
+};
+use hypermine_data::{Database, Value};
+use std::ops::Range;
+
+/// A discretized market: the database plus the fitted per-ticker threshold
+/// vectors (needed to discretize held-out data on the same scale).
+#[derive(Debug, Clone)]
+pub struct DiscretizedMarket {
+    /// The mined database: one attribute per ticker, one observation per
+    /// delta-series day.
+    pub database: Database,
+    /// Per-ticker fitted k-threshold vectors.
+    pub thresholds: Vec<ThresholdVector>,
+}
+
+/// Discretizes the *delta* series of every ticker over the day range
+/// `days` (indices into the delta series; `None` = everything) with
+/// equi-depth partitioning into `1..=k`.
+pub fn discretize_market(
+    market: &Market,
+    k: Value,
+    days: Option<Range<usize>>,
+) -> DiscretizedMarket {
+    let deltas = market.deltas();
+    let len = deltas.first().map_or(0, Vec::len);
+    let range = days.unwrap_or(0..len);
+    let range = range.start.min(len)..range.end.min(len);
+    let cols: Vec<Vec<f64>> = deltas.iter().map(|d| d[range.clone()].to_vec()).collect();
+    let (database, thresholds) = discretize_columns(
+        market.universe().symbols(),
+        k,
+        &cols,
+        &EquiDepth::new(k),
+    )
+    .expect("discretizer output is always in 1..=k");
+    DiscretizedMarket {
+        database,
+        thresholds,
+    }
+}
+
+impl DiscretizedMarket {
+    /// Discretizes another day range of the same market with *these*
+    /// thresholds (e.g. an out-of-sample year on the in-sample scale).
+    pub fn discretize_more(&self, market: &Market, days: Range<usize>) -> Database {
+        let deltas = market.deltas();
+        let len = deltas.first().map_or(0, Vec::len);
+        let range = days.start.min(len)..days.end.min(len);
+        let cols: Vec<Vec<f64>> = deltas.iter().map(|d| d[range.clone()].to_vec()).collect();
+        apply_thresholds(
+            market.universe().symbols(),
+            self.database.k(),
+            &cols,
+            &self.thresholds,
+        )
+        .expect("thresholds map into 1..=k")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimConfig;
+    use crate::universe::Universe;
+    use hypermine_data::AttrId;
+
+    fn market() -> Market {
+        Market::simulate(
+            Universe::sp500(20),
+            &SimConfig {
+                n_days: 500,
+                seed: 3,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn database_shape() {
+        let m = market();
+        let d = discretize_market(&m, 3, None);
+        assert_eq!(d.database.num_attrs(), 20);
+        assert_eq!(d.database.num_obs(), 499); // deltas: one fewer than days
+        assert_eq!(d.database.k(), 3);
+        assert_eq!(d.thresholds.len(), 20);
+    }
+
+    #[test]
+    fn equi_depth_buckets_are_balanced() {
+        let m = market();
+        let d = discretize_market(&m, 3, None);
+        for a in d.database.attrs() {
+            let counts = d.database.value_counts(a);
+            let m_obs = d.database.num_obs() as f64;
+            for &c in &counts {
+                let frac = c as f64 / m_obs;
+                assert!(
+                    (frac - 1.0 / 3.0).abs() < 0.05,
+                    "bucket fraction {frac} too far from 1/3"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn day_range_restriction() {
+        let m = market();
+        let d = discretize_market(&m, 3, Some(0..100));
+        assert_eq!(d.database.num_obs(), 100);
+    }
+
+    #[test]
+    fn held_out_discretization_uses_training_scale() {
+        let m = market();
+        let train = discretize_market(&m, 3, Some(0..400));
+        let test = train.discretize_more(&m, 400..499);
+        assert_eq!(test.num_obs(), 99);
+        assert_eq!(test.k(), 3);
+        // Same ticker order.
+        assert_eq!(
+            test.attr_name(AttrId::new(0)),
+            train.database.attr_name(AttrId::new(0))
+        );
+    }
+
+    #[test]
+    fn ranges_are_clamped() {
+        let m = market();
+        let d = discretize_market(&m, 3, Some(450..10_000));
+        assert_eq!(d.database.num_obs(), 49);
+    }
+}

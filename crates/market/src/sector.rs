@@ -1,0 +1,151 @@
+//! The paper's 12 industrial sectors (Chapter 5).
+
+use std::fmt;
+
+/// An S&P 500 industrial sector, as enumerated at the start of Chapter 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sector {
+    BasicMaterials,
+    CapitalGoods,
+    Conglomerates,
+    ConsumerCyclical,
+    ConsumerNoncyclical,
+    Energy,
+    Financial,
+    Healthcare,
+    Services,
+    Technology,
+    Transportation,
+    Utilities,
+}
+
+impl Sector {
+    /// All 12 sectors, in the paper's order.
+    pub const ALL: [Sector; 12] = [
+        Sector::BasicMaterials,
+        Sector::CapitalGoods,
+        Sector::Conglomerates,
+        Sector::ConsumerCyclical,
+        Sector::ConsumerNoncyclical,
+        Sector::Energy,
+        Sector::Financial,
+        Sector::Healthcare,
+        Sector::Services,
+        Sector::Technology,
+        Sector::Transportation,
+        Sector::Utilities,
+    ];
+
+    /// The paper's short code (`BM`, `CG`, `C`, `CC`, `CN`, `E`, `F`, `H`,
+    /// `SV`, `T`, `TP`, `U`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Sector::BasicMaterials => "BM",
+            Sector::CapitalGoods => "CG",
+            Sector::Conglomerates => "C",
+            Sector::ConsumerCyclical => "CC",
+            Sector::ConsumerNoncyclical => "CN",
+            Sector::Energy => "E",
+            Sector::Financial => "F",
+            Sector::Healthcare => "H",
+            Sector::Services => "SV",
+            Sector::Technology => "T",
+            Sector::Transportation => "TP",
+            Sector::Utilities => "U",
+        }
+    }
+
+    /// Parses a paper sector code.
+    pub fn from_code(code: &str) -> Option<Sector> {
+        Sector::ALL.iter().copied().find(|s| s.code() == code)
+    }
+
+    /// Index into [`Sector::ALL`].
+    pub fn index(self) -> usize {
+        Sector::ALL.iter().position(|&s| s == self).expect("in ALL")
+    }
+
+    /// Number of sub-sectors this sector contributes; the totals across all
+    /// sectors sum to 104, matching the paper ("the total number of
+    /// sub-sectors over the entire sectors is 104"; Technology has 11).
+    pub fn num_subsectors(self) -> usize {
+        match self {
+            Sector::BasicMaterials => 10,
+            Sector::CapitalGoods => 9,
+            Sector::Conglomerates => 3,
+            Sector::ConsumerCyclical => 10,
+            Sector::ConsumerNoncyclical => 9,
+            Sector::Energy => 8,
+            Sector::Financial => 10,
+            Sector::Healthcare => 8,
+            Sector::Services => 12,
+            Sector::Technology => 11,
+            Sector::Transportation => 5,
+            Sector::Utilities => 9,
+        }
+    }
+
+    /// True if the paper's producer/consumer analysis (Section 5.2) places
+    /// this sector in the *producer* category: entities with few resource
+    /// dependencies (BM, E, and the real-estate side of SV). Producers tend
+    /// to be more predictable (high weighted in-degree).
+    pub fn is_producer_leaning(self) -> bool {
+        matches!(
+            self,
+            Sector::BasicMaterials | Sector::Energy | Sector::Services
+        )
+    }
+
+    /// True if Section 5.2 places the sector in the *consumer* category:
+    /// entities in direct contact with end-users (H, SV, T), which tend to
+    /// be good predictors (high weighted out-degree).
+    pub fn is_consumer_leaning(self) -> bool {
+        matches!(
+            self,
+            Sector::Healthcare | Sector::Services | Sector::Technology
+        )
+    }
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsector_total_is_104() {
+        let total: usize = Sector::ALL.iter().map(|s| s.num_subsectors()).sum();
+        assert_eq!(total, 104);
+        assert_eq!(Sector::Technology.num_subsectors(), 11);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for s in Sector::ALL {
+            assert_eq!(Sector::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Sector::from_code("XYZ"), None);
+    }
+
+    #[test]
+    fn indexes_are_positions() {
+        for (i, s) in Sector::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_tags() {
+        assert!(Sector::Energy.is_producer_leaning());
+        assert!(Sector::Technology.is_consumer_leaning());
+        assert!(!Sector::Financial.is_producer_leaning());
+        // SV straddles both categories, as the paper notes.
+        assert!(Sector::Services.is_producer_leaning());
+        assert!(Sector::Services.is_consumer_leaning());
+    }
+}

@@ -1,0 +1,116 @@
+//! Evaluation utilities shared by all classifiers.
+
+use crate::dataset::TabularDataset;
+
+/// Fraction of examples in `data` for which `predict` returns the true
+/// label. Returns 0 for an empty dataset.
+pub fn accuracy<F: FnMut(&[f64]) -> usize>(data: &TabularDataset, mut predict: F) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..data.len())
+        .filter(|&i| predict(data.row(i)) == data.label(i))
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// A `c × c` confusion matrix; `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by running `predict` over `data`.
+    pub fn compute<F: FnMut(&[f64]) -> usize>(data: &TabularDataset, mut predict: F) -> Self {
+        let c = data.n_classes();
+        let mut counts = vec![0usize; c * c];
+        for i in 0..data.len() {
+            let p = predict(data.row(i)).min(c - 1);
+            counts[data.label(i) * c + p] += 1;
+        }
+        ConfusionMatrix {
+            n_classes: c,
+            counts,
+        }
+    }
+
+    /// `counts[actual][predicted]`.
+    pub fn get(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.n_classes + predicted]
+    }
+
+    /// Overall accuracy (trace / total); 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.n_classes).map(|i| self.get(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for absent classes).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.n_classes).map(|j| self.get(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / row as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> TabularDataset {
+        let mut ds = TabularDataset::new(1, 2);
+        ds.push(&[0.0], 0);
+        ds.push(&[1.0], 1);
+        ds.push(&[2.0], 1);
+        ds.push(&[3.0], 0);
+        ds
+    }
+
+    #[test]
+    fn accuracy_of_threshold_rule() {
+        let ds = data();
+        // Predict 1 iff x >= 1: correct on rows 0,1,2; wrong on 3.
+        let acc = accuracy(&ds, |x| usize::from(x[0] >= 1.0));
+        assert!((acc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let ds = data();
+        let cm = ConfusionMatrix::compute(&ds, |x| usize::from(x[0] >= 1.0));
+        assert_eq!(cm.get(0, 0), 1); // x=0 correct
+        assert_eq!(cm.get(0, 1), 1); // x=3 wrong
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(1, 0), 0);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(cm.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn empty_dataset_edge_cases() {
+        let ds = TabularDataset::new(1, 2);
+        assert_eq!(accuracy(&ds, |_| 0), 0.0);
+        let cm = ConfusionMatrix::compute(&ds, |_| 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), None);
+    }
+
+    #[test]
+    fn out_of_range_predictions_clamped() {
+        let ds = data();
+        let cm = ConfusionMatrix::compute(&ds, |_| 99);
+        // All predictions clamp to class 1.
+        assert_eq!(cm.get(0, 1), 2);
+        assert_eq!(cm.get(1, 1), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal dense linear algebra for the regression models.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Solves the `n × n` system `A x = b` in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major and is destroyed; `b` is overwritten
+/// with the solution. Returns `false` for (numerically) singular systems.
+pub fn gaussian_solve(a: &mut [f64], b: &mut [f64], n: usize) -> bool {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot: largest |a[row][col]| among rows >= col.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return false;
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for j in (col + 1)..n {
+            sum -= a[col * n + j] * b[j];
+        }
+        b[col] = sum / a[col * n + col];
+    }
+    true
+}
+
+/// Numerically stable softmax, written into `out`.
+pub fn softmax(logits: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(logits.len(), out.len());
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        *o = (l - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // x + 2y = 5; 3x + 4y = 11 => x=1, y=2.
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut b = vec![5.0, 11.0];
+        assert!(gaussian_solve(&mut a, &mut b, 2));
+        assert!((b[0] - 1.0).abs() < 1e-10);
+        assert!((b[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // 0x + y = 2; x + 0y = 3.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        assert!(gaussian_solve(&mut a, &mut b, 2));
+        assert!((b[0] - 3.0).abs() < 1e-10);
+        assert!((b[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(!gaussian_solve(&mut a, &mut b, 2));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut out = vec![0.0; 3];
+        softmax(&[1000.0, 1001.0, 1002.0], &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

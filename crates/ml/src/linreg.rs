@@ -1,0 +1,134 @@
+//! Ridge-regularized linear regression (the paper's Section 2.3.1 baseline
+//! for non-discrete targets).
+
+use crate::dataset::TabularDataset;
+use crate::linalg::{dot, gaussian_solve};
+
+/// A fitted linear model `ŷ = w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Per-feature weights `w₁..w_d`.
+    pub weights: Vec<f64>,
+    /// The bias term `w₀`.
+    pub bias: f64,
+}
+
+impl LinearRegression {
+    /// Fits by minimizing `Σ (yᵢ − w·xᵢ − b)² + λ‖w‖²` via the normal
+    /// equations (`λ = ridge`, not applied to the bias). `ridge > 0`
+    /// guarantees a unique solution even for collinear features.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` disagree in length, rows are ragged, or the
+    /// system is singular (only possible with `ridge = 0`).
+    pub fn fit(xs: &[&[f64]], ys: &[f64], ridge: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "one target per row");
+        assert!(!xs.is_empty(), "cannot fit on zero rows");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == d), "ragged rows");
+        let n = d + 1; // last column is the bias
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n];
+        for (row, &y) in xs.iter().zip(ys) {
+            for i in 0..d {
+                for j in 0..d {
+                    a[i * n + j] += row[i] * row[j];
+                }
+                a[i * n + d] += row[i];
+                a[d * n + i] += row[i];
+                b[i] += row[i] * y;
+            }
+            a[d * n + d] += 1.0;
+            b[d] += y;
+        }
+        for i in 0..d {
+            a[i * n + i] += ridge;
+        }
+        assert!(
+            gaussian_solve(&mut a, &mut b, n),
+            "singular normal equations; use ridge > 0"
+        );
+        let bias = b[d];
+        b.truncate(d);
+        LinearRegression { weights: b, bias }
+    }
+
+    /// Convenience: fit on a [`TabularDataset`] treating labels as reals.
+    pub fn fit_dataset(data: &TabularDataset, ridge: f64) -> Self {
+        let xs: Vec<&[f64]> = (0..data.len()).map(|i| data.row(i)).collect();
+        let ys: Vec<f64> = data.labels().iter().map(|&l| l as f64).collect();
+        Self::fit(&xs, &ys, ridge)
+    }
+
+    /// Predicts `w·x + b`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// Mean squared error over a sample.
+    pub fn mse(&self, xs: &[&[f64]], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2x1 - 3x2 + 1.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let xs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let m = LinearRegression::fit(&xs, &ys, 0.0);
+        assert!((m.weights[0] - 2.0).abs() < 1e-8);
+        assert!((m.weights[1] + 3.0).abs() < 1e-8);
+        assert!((m.bias - 1.0).abs() < 1e-8);
+        assert!(m.mse(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        // Two identical features: unregularized normal equations are
+        // singular, ridge fixes it.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let xs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let m = LinearRegression::fit(&xs, &ys, 1e-6);
+        // Weights split the coefficient; predictions still accurate.
+        assert!(m.mse(&xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_without_ridge_panics() {
+        let rows: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64, i as f64]).collect();
+        let xs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys = vec![0.0; 4];
+        LinearRegression::fit(&xs, &ys, 0.0);
+    }
+
+    #[test]
+    fn fit_dataset_uses_labels_as_targets() {
+        let mut ds = TabularDataset::new(1, 3);
+        ds.push(&[0.0], 0);
+        ds.push(&[1.0], 1);
+        ds.push(&[2.0], 2);
+        let m = LinearRegression::fit_dataset(&ds, 0.0);
+        assert!((m.predict(&[1.5]) - 1.5).abs() < 1e-9);
+    }
+}

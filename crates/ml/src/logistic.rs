@@ -1,0 +1,161 @@
+//! Multinomial logistic regression trained by mini-batch gradient descent.
+
+use crate::dataset::TabularDataset;
+use crate::linalg::{argmax, dot, softmax};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyperparameters for [`LogisticRegression::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// L2 penalty on the weights (not the biases).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            lr: 0.1,
+            epochs: 200,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A softmax classifier: `P(c | x) ∝ exp(w_c·x + b_c)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    n_features: usize,
+    n_classes: usize,
+    /// Row-major `n_classes × n_features`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Trains with SGD over shuffled examples, minimizing cross-entropy with
+    /// L2 regularization.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train<R: Rng>(data: &TabularDataset, cfg: &LogisticConfig, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot train on zero examples");
+        let d = data.n_features();
+        let c = data.n_classes();
+        let mut model = LogisticRegression {
+            n_features: d,
+            n_classes: c,
+            weights: vec![0.0; c * d],
+            biases: vec![0.0; c],
+        };
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut probs = vec![0.0; c];
+        let mut logits = vec![0.0; c];
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let x = data.row(i);
+                let y = data.label(i);
+                model.logits(x, &mut logits);
+                softmax(&logits, &mut probs);
+                for cls in 0..c {
+                    let err = probs[cls] - if cls == y { 1.0 } else { 0.0 };
+                    let w = &mut model.weights[cls * d..(cls + 1) * d];
+                    for (wj, &xj) in w.iter_mut().zip(x) {
+                        *wj -= cfg.lr * (err * xj + cfg.l2 * *wj);
+                    }
+                    model.biases[cls] -= cfg.lr * err;
+                }
+            }
+        }
+        model
+    }
+
+    fn logits(&self, x: &[f64], out: &mut [f64]) {
+        for (cls, o) in out.iter_mut().enumerate() {
+            *o = dot(
+                &self.weights[cls * self.n_features..(cls + 1) * self.n_features],
+                x,
+            ) + self.biases[cls];
+        }
+    }
+
+    /// Class probabilities for `x`.
+    pub fn probabilities(&self, x: &[f64]) -> Vec<f64> {
+        let mut logits = vec![0.0; self.n_classes];
+        let mut probs = vec![0.0; self.n_classes];
+        self.logits(x, &mut logits);
+        softmax(&logits, &mut probs);
+        probs
+    }
+
+    /// The most probable class for `x`.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut logits = vec![0.0; self.n_classes];
+        self.logits(x, &mut logits);
+        argmax(&logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_linearly_separable_three_classes() {
+        let mut ds = TabularDataset::new(2, 3);
+        for i in 0..10 {
+            let t = i as f64 * 0.05;
+            ds.push(&[0.0 + t, 0.0], 0);
+            ds.push(&[5.0 + t, 0.0], 1);
+            ds.push(&[2.5 + t, 5.0], 2);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LogisticRegression::train(&ds, &LogisticConfig::default(), &mut rng);
+        let correct = (0..ds.len())
+            .filter(|&i| m.predict(ds.row(i)) == ds.label(i))
+            .count();
+        assert_eq!(correct, ds.len());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut ds = TabularDataset::new(1, 2);
+        ds.push(&[0.0], 0);
+        ds.push(&[1.0], 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LogisticRegression::train(&ds, &LogisticConfig::default(), &mut rng);
+        let p = m.probabilities(&[0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confident_on_training_points() {
+        let mut ds = TabularDataset::new(1, 2);
+        for _ in 0..20 {
+            ds.push(&[-1.0], 0);
+            ds.push(&[1.0], 1);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LogisticRegression::train(&ds, &LogisticConfig::default(), &mut rng);
+        assert!(m.probabilities(&[-1.0])[0] > 0.9);
+        assert!(m.probabilities(&[1.0])[1] > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_dataset_panics() {
+        let ds = TabularDataset::new(1, 2);
+        LogisticRegression::train(
+            &ds,
+            &LogisticConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

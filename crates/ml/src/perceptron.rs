@@ -1,0 +1,169 @@
+//! The perceptron learning rule (Algorithm 3 of the paper) and a
+//! one-vs-rest multi-class wrapper.
+
+use crate::dataset::TabularDataset;
+use crate::linalg::{argmax, dot};
+
+/// A binary perceptron: classifies into the *first* class when
+/// `w·x + b > 0` (Rosenblatt 1958; the paper's Algorithm 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perceptron {
+    /// Feature weights `w₁..w_{n−1}`.
+    pub weights: Vec<f64>,
+    /// The bias weight `w₀` (the paper's constant-input `A₀ = 1`).
+    pub bias: f64,
+    /// Number of full passes executed during training.
+    pub epochs_run: usize,
+    /// True if a pass completed with zero misclassifications.
+    pub converged: bool,
+}
+
+impl Perceptron {
+    /// Trains per Algorithm 3: start from zero weights; for each
+    /// misclassified observation, *add* its attribute values to the weights
+    /// if it belongs to the first class (`positive[i] == true`), else
+    /// *subtract* them. Since non-separable data never converges, training
+    /// is "terminated forcefully" (the paper's words) after `max_epochs`
+    /// passes.
+    pub fn train(xs: &[&[f64]], positive: &[bool], max_epochs: usize) -> Self {
+        assert_eq!(xs.len(), positive.len(), "one label per row");
+        let d = xs.first().map_or(0, |r| r.len());
+        assert!(xs.iter().all(|r| r.len() == d), "ragged rows");
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut epochs_run = 0;
+        let mut converged = false;
+        for _ in 0..max_epochs {
+            epochs_run += 1;
+            let mut mistakes = 0;
+            for (x, &pos) in xs.iter().zip(positive) {
+                let fired = dot(&w, x) + b > 0.0;
+                if fired != pos {
+                    mistakes += 1;
+                    let sign = if pos { 1.0 } else { -1.0 };
+                    for (wi, &xi) in w.iter_mut().zip(*x) {
+                        *wi += sign * xi;
+                    }
+                    b += sign; // A₀ = 1
+                }
+            }
+            if mistakes == 0 {
+                converged = true;
+                break;
+            }
+        }
+        Perceptron {
+            weights: w,
+            bias: b,
+            epochs_run,
+            converged,
+        }
+    }
+
+    /// The raw activation `w·x + b`.
+    pub fn activation(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// True if `x` is classified into the first class.
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.activation(x) > 0.0
+    }
+}
+
+/// One-vs-rest multi-class perceptron: one binary perceptron per class,
+/// predictions go to the class with the highest activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassPerceptron {
+    machines: Vec<Perceptron>,
+}
+
+impl MultiClassPerceptron {
+    /// Trains `n_classes` one-vs-rest perceptrons on `data`.
+    pub fn train(data: &TabularDataset, max_epochs: usize) -> Self {
+        let xs: Vec<&[f64]> = (0..data.len()).map(|i| data.row(i)).collect();
+        let machines = (0..data.n_classes())
+            .map(|c| {
+                let positive: Vec<bool> = data.labels().iter().map(|&l| l == c).collect();
+                Perceptron::train(&xs, &positive, max_epochs)
+            })
+            .collect();
+        MultiClassPerceptron { machines }
+    }
+
+    /// Predicts the class with the highest activation.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let acts: Vec<f64> = self.machines.iter().map(|m| m.activation(x)).collect();
+        argmax(&acts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_separable_data() {
+        // Positive iff x1 > x2.
+        let rows: Vec<Vec<f64>> = vec![
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+            vec![1.0, 2.0],
+            vec![0.0, 3.0],
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+        ];
+        let xs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pos: Vec<bool> = xs.iter().map(|r| r[0] > r[1]).collect();
+        let p = Perceptron::train(&xs, &pos, 100);
+        assert!(p.converged);
+        for (x, &want) in xs.iter().zip(&pos) {
+            assert_eq!(p.classify(x), want);
+        }
+    }
+
+    #[test]
+    fn forceful_termination_on_xor() {
+        // XOR is not linearly separable; training must stop at max_epochs.
+        let rows = [
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let xs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pos = vec![false, true, true, false];
+        let p = Perceptron::train(&xs, &pos, 25);
+        assert!(!p.converged);
+        assert_eq!(p.epochs_run, 25);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        // Three clusters at the corners of a triangle: each class is
+        // linearly separable from the union of the others, so every
+        // one-vs-rest machine converges.
+        let mut ds = TabularDataset::new(2, 3);
+        for i in 0..5 {
+            let t = i as f64 * 0.05;
+            ds.push(&[5.0 + t, 0.0], 0);
+            ds.push(&[0.0, 5.0 + t], 1);
+            ds.push(&[-5.0 - t, -5.0 - t], 2);
+        }
+        let m = MultiClassPerceptron::train(&ds, 500);
+        assert_eq!(m.predict(&[5.1, 0.0]), 0);
+        assert_eq!(m.predict(&[0.0, 5.1]), 1);
+        assert_eq!(m.predict(&[-5.1, -5.1]), 2);
+    }
+
+    #[test]
+    fn zero_weights_classify_negative() {
+        let p = Perceptron {
+            weights: vec![0.0],
+            bias: 0.0,
+            epochs_run: 0,
+            converged: false,
+        };
+        assert!(!p.classify(&[1.0])); // activation 0 is not > 0
+    }
+}

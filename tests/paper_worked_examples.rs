@@ -1,0 +1,188 @@
+//! Every worked example in the paper, as exact-value integration tests:
+//! the Patient / Gene / Personal-Interest databases (Examples 3.3–3.5),
+//! the association-similarity Example 3.12, and Theorem 3.8.
+
+use hypermine::core::{out_similarity_graph, CountingEngine, MvaRule};
+use hypermine::data::discretize::{discretize_by, Discretizer, FixedCuts};
+use hypermine::data::{confidence, support, AttrId, Database, Value};
+use hypermine::hypergraph::{DirectedHypergraph, NodeId};
+
+fn a(i: u32) -> AttrId {
+    AttrId::new(i)
+}
+
+/// Example 3.3: the Patient database, discretized with ⌊v/10⌋.
+#[test]
+fn example_3_3_patient_database() {
+    let raw: [[f64; 4]; 8] = [
+        [25.0, 105.0, 135.0, 75.0],
+        [62.0, 160.0, 165.0, 85.0],
+        [32.0, 125.0, 139.0, 71.0],
+        [12.0, 95.0, 105.0, 67.0],
+        [38.0, 129.0, 135.0, 75.0],
+        [39.0, 121.0, 117.0, 71.0],
+        [41.0, 134.0, 145.0, 73.0],
+        [85.0, 125.0, 155.0, 78.0],
+    ];
+    let columns: Vec<Vec<Value>> = (0..4)
+        .map(|c| {
+            discretize_by(
+                &raw.iter().map(|r| r[c]).collect::<Vec<_>>(),
+                |x| (x / 10.0).floor() as Value,
+            )
+        })
+        .collect();
+    let db = Database::from_columns(
+        vec!["A".into(), "C".into(), "B".into(), "H".into()],
+        16,
+        columns,
+    )
+    .unwrap();
+
+    // Table 3.2 row checks.
+    assert_eq!(db.value(a(0), 0), 2); // age 25 -> 2
+    assert_eq!(db.value(a(1), 1), 16); // cholesterol 160 -> 16
+    assert_eq!(db.value(a(2), 7), 15); // BP 155 -> 15
+    assert_eq!(db.value(a(3), 3), 6); // HR 67 -> 6
+
+    // X = {(A,3),(C,12)}, Y = {(B,13)}: Supp 0.375, Conf 2/3.
+    let x = [(a(0), 3), (a(1), 12)];
+    let y = [(a(2), 13)];
+    assert!((support(&db, &x) - 0.375).abs() < 1e-12);
+    assert!((confidence(&db, &x, &y).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Example 3.4: the Gene database with fixed expression cuts.
+#[test]
+fn example_3_4_gene_database() {
+    let raw: [[f64; 4]; 8] = [
+        [54.23, 66.22, 342.32, 422.21],
+        [541.21, 324.21, 165.21, 852.21],
+        [321.67, 125.98, 139.43, 71.11],
+        [123.87, 95.54, 105.88, 678.65],
+        [388.44, 129.33, 135.65, 754.32],
+        [399.98, 121.54, 117.55, 719.33],
+        [414.33, 134.73, 145.32, 733.22],
+        [855.78, 125.93, 155.76, 789.43],
+    ];
+    let cuts = FixedCuts::new(vec![334.0, 667.0]);
+    let columns: Vec<Vec<Value>> = (0..4)
+        .map(|c| cuts.fit_apply(&raw.iter().map(|r| r[c]).collect::<Vec<_>>()))
+        .collect();
+    let db = Database::from_columns(
+        vec!["G1".into(), "G2".into(), "G3".into(), "G4".into()],
+        3,
+        columns,
+    )
+    .unwrap();
+
+    // Table 3.4: patient 1 = (↓, ↓, ↔, ↔); patient 8 = (↑, ↓, ↓, ↑).
+    assert_eq!(
+        (0..4).map(|c| db.value(a(c), 0)).collect::<Vec<_>>(),
+        vec![1, 1, 2, 2]
+    );
+    assert_eq!(
+        (0..4).map(|c| db.value(a(c), 7)).collect::<Vec<_>>(),
+        vec![3, 1, 1, 3]
+    );
+
+    // X = {(G2,↓),(G3,↓)}, Y = {(G4,↑)}: Supp 0.875, Conf 6/7.
+    let rule = MvaRule::new(vec![(a(1), 1), (a(2), 1)], vec![(a(3), 3)]).unwrap();
+    assert!((rule.antecedent_support(&db) - 0.875).abs() < 1e-12);
+    assert!((rule.confidence(&db).unwrap() - 6.0 / 7.0).abs() < 1e-12);
+}
+
+/// Example 3.5: the Personal-Interest database with l/m/h cuts.
+#[test]
+fn example_3_5_personal_interest_database() {
+    let raw: [[f64; 4]; 8] = [
+        [10.0, 10.0, 3.0, 5.0],
+        [7.0, 9.0, 4.0, 6.0],
+        [3.0, 1.0, 9.0, 10.0],
+        [5.0, 1.0, 10.0, 7.0],
+        [9.0, 8.0, 2.0, 6.0],
+        [8.0, 10.0, 7.0, 6.0],
+        [5.0, 4.0, 6.0, 5.0],
+        [8.0, 10.0, 1.0, 8.0],
+    ];
+    let cuts = FixedCuts::new(vec![4.0, 8.0]);
+    let columns: Vec<Vec<Value>> = (0..4)
+        .map(|c| cuts.fit_apply(&raw.iter().map(|r| r[c]).collect::<Vec<_>>()))
+        .collect();
+    let db = Database::from_columns(
+        vec!["R".into(), "P".into(), "M".into(), "E".into()],
+        3,
+        columns,
+    )
+    .unwrap();
+
+    // Table 3.6 row checks: person 1 = (h,h,l,m); person 7 = (m,m,m,m).
+    assert_eq!(
+        (0..4).map(|c| db.value(a(c), 0)).collect::<Vec<_>>(),
+        vec![3, 3, 1, 2]
+    );
+    assert_eq!(
+        (0..4).map(|c| db.value(a(c), 6)).collect::<Vec<_>>(),
+        vec![2, 2, 2, 2]
+    );
+
+    // X = {(R,h),(P,h)}, Y = {(M,l)}: Supp 0.5, Conf 0.75.
+    let rule = MvaRule::new(vec![(a(0), 3), (a(1), 3)], vec![(a(2), 1)]).unwrap();
+    assert!((rule.antecedent_support(&db) - 0.5).abs() < 1e-12);
+    assert!((rule.confidence(&db).unwrap() - 0.75).abs() < 1e-12);
+}
+
+/// Example 3.12: weighted out-similarity = 0.4 / (0.6 + 0.5 + 0.7).
+#[test]
+fn example_3_12_out_similarity() {
+    let n = NodeId::new;
+    let mut g = DirectedHypergraph::new(6);
+    g.add_edge(&[n(0), n(2)], &[n(5)], 0.4).unwrap(); // a
+    g.add_edge(&[n(0), n(3)], &[n(5)], 0.5).unwrap(); // b
+    g.add_edge(&[n(1), n(2)], &[n(5)], 0.6).unwrap(); // c
+    g.add_edge(&[n(1), n(3), n(4)], &[n(5)], 0.7).unwrap(); // d
+    g.add_edge(&[n(3), n(4)], &[n(5)], 0.8).unwrap(); // e
+    let s = out_similarity_graph(&g, n(0), n(1));
+    assert!((s - 0.4 / 1.8).abs() < 1e-12, "got {s}");
+}
+
+/// Theorem 3.8 on the paper's own Gene fixture: adding tail attributes
+/// never lowers an ACV.
+#[test]
+fn theorem_3_8_on_gene_fixture() {
+    let db = Database::from_rows(
+        vec!["G1".into(), "G2".into(), "G3".into(), "G4".into()],
+        3,
+        &[
+            [1, 1, 2, 2],
+            [2, 1, 1, 3],
+            [1, 1, 1, 1],
+            [1, 1, 1, 3],
+            [2, 1, 1, 3],
+            [2, 1, 1, 3],
+            [2, 1, 1, 3],
+            [3, 1, 1, 3],
+        ],
+    )
+    .unwrap();
+    let engine = CountingEngine::new(&db);
+    for h in 0..4u32 {
+        let baseline = engine.baseline_acv(a(h));
+        for x in 0..4u32 {
+            if x == h {
+                continue;
+            }
+            let acv1 = engine.edge_acv(a(x), a(h));
+            assert!(acv1 + 1e-12 >= baseline, "part 1 fails at ({x},{h})");
+            for y in 0..4u32 {
+                if y == h || y <= x {
+                    continue;
+                }
+                let pair = engine.pair_rows(a(x), a(y));
+                let acv2 = engine.hyper_acv(&pair, a(h));
+                let floor = acv1.max(engine.edge_acv(a(y), a(h)));
+                assert!(acv2 + 1e-12 >= floor, "part 2 fails at ({x},{y},{h})");
+            }
+        }
+    }
+}

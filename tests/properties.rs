@@ -1,0 +1,276 @@
+//! Property-based tests (proptest) for the core invariants:
+//! counting correctness, Theorem 3.8 monotonicity, γ-filter soundness,
+//! similarity symmetry, classifier normalization, discretizer behaviour,
+//! and approximation-quality bounds versus brute force on small instances.
+
+use hypermine::approx::{greedy_set_cover, t_clustering, DistanceMatrix};
+use hypermine::core::{
+    dominating_adaptation, in_similarity_graph, is_dominator, node_of, out_similarity_graph,
+    set_cover_adaptation, AssociationClassifier, AssociationModel, CountingEngine, ModelConfig,
+    SetCoverOptions, StopRule,
+};
+use hypermine::data::discretize::{Discretizer, EquiDepth};
+use hypermine::data::{AttrId, Database, Value};
+use hypermine::hypergraph::{DirectedHypergraph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a small random database (2..=5 attrs, 5..=60 obs, k in 2..=4).
+fn small_db() -> impl Strategy<Value = Database> {
+    (2usize..=5, 5usize..=60, 2u8..=4).prop_flat_map(|(n_attrs, n_obs, k)| {
+        proptest::collection::vec(
+            proptest::collection::vec(1..=k, n_obs),
+            n_attrs,
+        )
+        .prop_map(move |cols| {
+            Database::from_columns(
+                (0..cols.len()).map(|i| format!("A{i}")).collect(),
+                k,
+                cols,
+            )
+            .expect("generated values are in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bitset counting engine agrees with the naive recount on every
+    /// edge and hyperedge table.
+    #[test]
+    fn bitset_counting_matches_naive(db in small_db()) {
+        let engine = CountingEngine::new(&db);
+        let attrs: Vec<AttrId> = db.attrs().collect();
+        for &a in &attrs {
+            for &h in &attrs {
+                if a == h { continue; }
+                prop_assert_eq!(engine.edge_table(a, h), engine.naive_table(&[a], h));
+            }
+        }
+        if attrs.len() >= 3 {
+            let pair = engine.pair_rows(attrs[0], attrs[1]);
+            for &h in &attrs[2..] {
+                prop_assert_eq!(engine.hyper_table(&pair, h), engine.naive_table(&[attrs[0], attrs[1]], h));
+            }
+        }
+    }
+
+    /// Theorem 3.8: ACV(∅,h) <= ACV({a},h) <= ACV({a,b},h); all in [0,1].
+    #[test]
+    fn theorem_3_8_monotonicity(db in small_db()) {
+        let engine = CountingEngine::new(&db);
+        let attrs: Vec<AttrId> = db.attrs().collect();
+        for &h in &attrs {
+            let base = engine.baseline_acv(h);
+            prop_assert!((0.0..=1.0).contains(&base));
+            for &a in &attrs {
+                if a == h { continue; }
+                let acv1 = engine.edge_acv(a, h);
+                prop_assert!((0.0..=1.0).contains(&acv1));
+                prop_assert!(acv1 + 1e-12 >= base);
+                for &b in &attrs {
+                    if b == h || b <= a { continue; }
+                    let pair = engine.pair_rows(a, b);
+                    let acv2 = engine.hyper_acv(&pair, h);
+                    prop_assert!((0.0..=1.0).contains(&acv2));
+                    prop_assert!(acv2 + 1e-12 >= acv1.max(engine.edge_acv(b, h)));
+                }
+            }
+        }
+    }
+
+    /// Every edge kept by the builder satisfies its γ inequality, and edge
+    /// weights equal their tables' ACVs.
+    #[test]
+    fn gamma_filter_sound(db in small_db()) {
+        let cfg = ModelConfig::default();
+        let model = AssociationModel::build(&db, &cfg).unwrap();
+        let tables = model.tables();
+        for (id, e) in model.hypergraph().edges() {
+            let t = tables.table(id);
+            prop_assert!((t.acv() - e.weight()).abs() < 1e-12);
+            match t.tail() {
+                [a] => {
+                    let _ = a;
+                    let head = t.head();
+                    prop_assert!(e.weight() + 1e-12 >= cfg.gamma_edge * model.baseline_acv(head));
+                }
+                [a, b] => {
+                    let head = t.head();
+                    let floor = model.raw_edge_acv(*a, head).max(model.raw_edge_acv(*b, head));
+                    prop_assert!(e.weight() + 1e-12 >= cfg.gamma_hyper * floor);
+                }
+                _ => prop_assert!(false, "unexpected tail arity"),
+            }
+        }
+    }
+
+    /// In-/out-similarity are symmetric, bounded in [0,1], and reflexive.
+    #[test]
+    fn similarity_symmetric_bounded(db in small_db()) {
+        let model = AssociationModel::build(&db, &ModelConfig::default()).unwrap();
+        let g = model.hypergraph();
+        let nodes: Vec<NodeId> = model.attrs().map(node_of).collect();
+        for &x in &nodes {
+            prop_assert_eq!(out_similarity_graph(g, x, x), 1.0);
+            prop_assert_eq!(in_similarity_graph(g, x, x), 1.0);
+            for &y in &nodes {
+                let o1 = out_similarity_graph(g, x, y);
+                let o2 = out_similarity_graph(g, y, x);
+                prop_assert!((o1 - o2).abs() < 1e-12);
+                prop_assert!((0.0..=1.0).contains(&o1));
+                let i1 = in_similarity_graph(g, x, y);
+                let i2 = in_similarity_graph(g, y, x);
+                prop_assert!((i1 - i2).abs() < 1e-12);
+                prop_assert!((0.0..=1.0).contains(&i1));
+            }
+        }
+    }
+
+    /// Classifier predictions: scores normalize, confidence in [0,1], and
+    /// the predicted value maximizes the accumulator.
+    #[test]
+    fn classifier_scores_normalized(db in small_db(), obs_idx in 0usize..60) {
+        prop_assume!(db.num_attrs() >= 2 && db.num_obs() > 0);
+        let model = AssociationModel::build(&db, &ModelConfig::default()).unwrap();
+        let attrs: Vec<AttrId> = db.attrs().collect();
+        let known = &attrs[..attrs.len() - 1];
+        let target = attrs[attrs.len() - 1];
+        let clf = AssociationClassifier::new(&model, known);
+        let obs = obs_idx % db.num_obs();
+        let values: Vec<Value> = known.iter().map(|&a| db.value(a, obs)).collect();
+        if let Some(p) = clf.predict(&values, target) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p.confidence));
+            let total: f64 = p.scores.iter().sum();
+            prop_assert!(total > 0.0);
+            let max = p.scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((p.scores[(p.value - 1) as usize] - max).abs() < 1e-15);
+            prop_assert!((p.confidence - max / total).abs() < 1e-12);
+        }
+    }
+
+    /// Dominators: FullCover covers everything reachable; results satisfy
+    /// Definition 4.1 on the covered subset.
+    #[test]
+    fn dominators_valid(db in small_db()) {
+        let model = AssociationModel::build(&db, &ModelConfig::default()).unwrap();
+        let g = model.hypergraph();
+        let nodes: Vec<NodeId> = model.attrs().map(node_of).collect();
+        let r5 = dominating_adaptation(g, &nodes, StopRule::FullCover);
+        // FullCover of Algorithm 5 always covers all of S (self-cover).
+        prop_assert_eq!(r5.covered_in_s, nodes.len());
+        for opts in [SetCoverOptions::default(), SetCoverOptions { stop: StopRule::FullCover, ..Default::default() }] {
+            let r6 = set_cover_adaptation(g, &nodes, &opts);
+            let covered: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|n| r6.covered[n.index()])
+                .collect();
+            prop_assert!(is_dominator(g, &covered, &r6.dominator));
+            prop_assert!(r6.covered_in_s <= nodes.len());
+        }
+    }
+
+    /// Equi-depth discretization: outputs lie in 1..=k and bucket counts
+    /// differ by at most ~1/k of the data for continuous (duplicate-free)
+    /// inputs.
+    #[test]
+    fn equi_depth_balanced(mut raw in proptest::collection::vec(-1e6f64..1e6, 30..200), k in 2u8..=5) {
+        raw.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        raw.dedup();
+        prop_assume!(raw.len() >= 2 * k as usize);
+        let vals = EquiDepth::new(k).fit_apply(&raw);
+        prop_assert!(vals.iter().all(|&v| v >= 1 && v <= k));
+        let mut counts = vec![0usize; k as usize];
+        for v in &vals {
+            counts[(*v - 1) as usize] += 1;
+        }
+        let ideal = raw.len() as f64 / k as f64;
+        for &c in &counts {
+            prop_assert!((c as f64 - ideal).abs() <= ideal * 0.5 + 2.0,
+                "bucket {c} vs ideal {ideal} (counts {counts:?})");
+        }
+    }
+
+    /// Greedy set cover returns a valid cover within (ln n + 1) of the
+    /// brute-force optimum on small instances.
+    #[test]
+    fn set_cover_near_optimal(
+        sets in proptest::collection::vec(proptest::collection::vec(0usize..8, 1..5), 1..8),
+        universe in 1usize..=8,
+    ) {
+        let r = greedy_set_cover(universe, &sets);
+        // Brute force smallest complete cover.
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << sets.len()) {
+            let mut covered = vec![false; universe];
+            for (i, s) in sets.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    for &e in s {
+                        if e < universe {
+                            covered[e] = true;
+                        }
+                    }
+                }
+            }
+            if covered.iter().all(|&c| c) {
+                let size = mask.count_ones() as usize;
+                best = Some(best.map_or(size, |b: usize| b.min(size)));
+            }
+        }
+        match best {
+            Some(opt) => {
+                prop_assert!(r.complete);
+                let h: f64 = (1..=universe).map(|i| 1.0 / i as f64).sum();
+                prop_assert!(r.chosen.len() as f64 <= h * opt as f64 + 1e-9,
+                    "greedy {} vs opt {opt}", r.chosen.len());
+            }
+            None => prop_assert!(!r.complete),
+        }
+    }
+
+    /// Gonzalez t-clustering is a 2-approximation of the optimal diameter
+    /// on small metric instances (brute-force over all assignments).
+    #[test]
+    fn gonzalez_two_approximation(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..8),
+        t in 1usize..=3,
+    ) {
+        let pts: Vec<Vec<f64>> = points.iter().map(|&(x, y)| vec![x, y]).collect();
+        let d = DistanceMatrix::euclidean(&pts);
+        let c = t_clustering(&d, t, None);
+        let t = c.centers.len();
+        // Brute force optimal diameter over all t-partitions.
+        let n = pts.len();
+        let mut opt = f64::INFINITY;
+        let mut assignment = vec![0usize; n];
+        loop {
+            let mut diam: f64 = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if assignment[i] == assignment[j] {
+                        diam = diam.max(d.get(i, j));
+                    }
+                }
+            }
+            opt = opt.min(diam);
+            // Next assignment in base-t.
+            let mut carry = true;
+            for slot in assignment.iter_mut() {
+                if carry {
+                    *slot += 1;
+                    if *slot == t {
+                        *slot = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        prop_assert!(c.diameter(&d) <= 2.0 * opt + 1e-9,
+            "gonzalez {} vs 2*opt {}", c.diameter(&d), 2.0 * opt);
+    }
+}
