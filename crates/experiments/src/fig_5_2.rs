@@ -107,7 +107,7 @@ impl SimilarityReport {
 
     /// Mean ES per in-sim decile — the textual rendering of the scatter.
     pub fn decile_profile(&self) -> Vec<(f64, f64, usize)> {
-        let mut bins = vec![(0.0f64, 0usize); 10];
+        let mut bins = [(0.0f64, 0usize); 10];
         for p in &self.points {
             let b = ((p.in_sim * 10.0) as usize).min(9);
             bins[b].0 += p.euclidean;

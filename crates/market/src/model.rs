@@ -68,8 +68,11 @@ pub struct SimConfig {
     /// broad market — they are predicted, they do not predict).
     pub producer_market_shrink: f64,
     /// Multiplier on sector and sub-sector loadings for producer-leaning
-    /// sectors (> 1 ⇒ commodity-style sector cohesion: many strong
-    /// within-sector edges into each producer).
+    /// sectors. Values < 1 damp shared sector shocks relative to the folded
+    /// demand channel and the shrunken idiosyncratic noise, which is what
+    /// concentrates weighted in-degree on producers (the Figure 5.1
+    /// finding); > 1 instead yields commodity-style sector cliques that
+    /// dilute it.
     pub producer_cohesion: f64,
     /// Demand loading `β_d` range for consumer-leaning sectors.
     pub consumer_demand_loading: (f64, f64),
@@ -103,11 +106,11 @@ impl Default for SimConfig {
             idio_sd: (1.3, 2.2),
             producer_idio_shrink: 0.25,
             consumer_idio_shrink: 0.55,
-            consumer_market_boost: 1.3,
+            consumer_market_boost: 1.15,
             producer_market_shrink: 1.0,
-            producer_cohesion: 1.15,
+            producer_cohesion: 0.9,
             consumer_demand_loading: (1.2, 1.8),
-            producer_fold_loading: (0.6, 1.0),
+            producer_fold_loading: (0.7, 1.1),
             demand_streams: 0,
             producer_streams: 2,
             start_price: 50.0,

@@ -62,8 +62,8 @@ impl LogisticRegression {
                 let y = data.label(i);
                 model.logits(x, &mut logits);
                 softmax(&logits, &mut probs);
-                for cls in 0..c {
-                    let err = probs[cls] - if cls == y { 1.0 } else { 0.0 };
+                for (cls, &p) in probs.iter().enumerate() {
+                    let err = p - if cls == y { 1.0 } else { 0.0 };
                     let w = &mut model.weights[cls * d..(cls + 1) * d];
                     for (wj, &xj) in w.iter_mut().zip(x) {
                         *wj -= cfg.lr * (err * xj + cfg.l2 * *wj);

@@ -80,29 +80,31 @@ impl Mlp {
                 net.forward(x, &mut hid, &mut logits);
                 softmax(&logits, &mut probs);
 
+                // Hidden gradient through tanh. Must read w2 before the
+                // output-layer update below, so both layers step on the
+                // gradient of the loss at the *current* parameters.
+                for (j, dh) in dhid.iter_mut().enumerate() {
+                    let mut g = 0.0;
+                    for (cls, &p) in probs.iter().enumerate() {
+                        let err = p - if cls == y { 1.0 } else { 0.0 };
+                        g += err * net.w2[cls * h + j];
+                    }
+                    *dh = g * (1.0 - hid[j] * hid[j]);
+                }
                 // Output layer gradient: dL/dlogit = p − 1[y].
-                for cls in 0..c {
-                    let err = probs[cls] - if cls == y { 1.0 } else { 0.0 };
+                for (cls, &p) in probs.iter().enumerate() {
+                    let err = p - if cls == y { 1.0 } else { 0.0 };
                     net.b2[cls] -= cfg.lr * err;
                     let row = &mut net.w2[cls * h..(cls + 1) * h];
                     for (w, &hj) in row.iter_mut().zip(&hid) {
                         *w -= cfg.lr * (err * hj + cfg.l2 * *w);
                     }
                 }
-                // Hidden gradient through tanh.
-                for j in 0..h {
-                    let mut g = 0.0;
-                    for cls in 0..c {
-                        let err = probs[cls] - if cls == y { 1.0 } else { 0.0 };
-                        g += err * net.w2[cls * h + j];
-                    }
-                    dhid[j] = g * (1.0 - hid[j] * hid[j]);
-                }
-                for j in 0..h {
-                    net.b1[j] -= cfg.lr * dhid[j];
+                for (j, &dh) in dhid.iter().enumerate() {
+                    net.b1[j] -= cfg.lr * dh;
                     let row = &mut net.w1[j * d..(j + 1) * d];
                     for (w, &xi) in row.iter_mut().zip(x) {
-                        *w -= cfg.lr * (dhid[j] * xi + cfg.l2 * *w);
+                        *w -= cfg.lr * (dh * xi + cfg.l2 * *w);
                     }
                 }
             }
@@ -111,15 +113,14 @@ impl Mlp {
     }
 
     fn forward(&self, x: &[f64], hid: &mut [f64], logits: &mut [f64]) {
-        for j in 0..self.h {
+        for (j, hj) in hid.iter_mut().enumerate() {
             let row = &self.w1[j * self.d..(j + 1) * self.d];
             let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b1[j];
-            hid[j] = z.tanh();
+            *hj = z.tanh();
         }
-        for cls in 0..self.c {
+        for (cls, logit) in logits.iter_mut().enumerate() {
             let row = &self.w2[cls * self.h..(cls + 1) * self.h];
-            logits[cls] =
-                row.iter().zip(hid.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2[cls];
+            *logit = row.iter().zip(hid.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2[cls];
         }
     }
 

@@ -11,7 +11,7 @@ use hypermine::core::{
 };
 use hypermine::data::discretize::{Discretizer, EquiDepth};
 use hypermine::data::{AttrId, Database, Value};
-use hypermine::hypergraph::{DirectedHypergraph, NodeId};
+use hypermine::hypergraph::NodeId;
 use proptest::prelude::*;
 
 /// Strategy: a small random database (2..=5 attrs, 5..=60 obs, k in 2..=4).
