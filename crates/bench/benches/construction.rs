@@ -1,12 +1,22 @@
 //! Section 5.1.2 benchmark: association-hypergraph construction — the cost
 //! of computing every directed-edge and 2-to-1 hyperedge ACV with the
-//! γ-significance filter, across universe size and value-domain size `k`
-//! (C1 uses k = 3, C2 uses k = 5).
+//! γ-significance filter, across universe size `n`, value-domain size `k`
+//! (C1 uses k = 3, C2 uses k = 5; k = 8 probes the large-k regime), and
+//! counting strategy (`bitset` / `obsmajor` / `auto`). The strategy sweep
+//! demonstrates the observation-major crossover: `obsmajor` should win by
+//! ≥ 2× at k = 8 while `bitset` stays ahead at k = 3, with `auto` tracking
+//! the better of the two.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hypermine_core::{AssociationModel, ModelConfig};
+use hypermine_core::{AssociationModel, CountStrategy, ModelConfig};
 use hypermine_market::{discretize_market, Market, SimConfig, Universe};
 use std::hint::black_box;
+
+const STRATEGIES: [(&str, CountStrategy); 3] = [
+    ("bitset", CountStrategy::Bitset),
+    ("obsmajor", CountStrategy::ObsMajor),
+    ("auto", CountStrategy::Auto),
+];
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
@@ -20,24 +30,28 @@ fn bench_construction(c: &mut Criterion) {
                 ..SimConfig::default()
             },
         );
-        for &k in &[3u8, 5] {
+        for &k in &[3u8, 5, 8] {
             let disc = discretize_market(&market, k, None);
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{tickers}"), format!("k{k}")),
-                &disc.database,
-                |b, db| {
-                    b.iter(|| {
-                        AssociationModel::build(black_box(db), &ModelConfig::c1()).unwrap()
-                    })
-                },
-            );
+            for (name, strategy) in STRATEGIES {
+                let cfg = ModelConfig {
+                    strategy,
+                    ..ModelConfig::c1()
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("n{tickers}"), format!("k{k}/{name}")),
+                    &disc.database,
+                    |b, db| {
+                        b.iter(|| AssociationModel::build(black_box(db), &cfg).unwrap())
+                    },
+                );
+            }
         }
     }
     group.finish();
 }
 
 fn bench_edge_acv_kernels(c: &mut Criterion) {
-    use hypermine_core::CountingEngine;
+    use hypermine_core::{CountingEngine, HeadCounter};
     use hypermine_data::AttrId;
     let market = Market::simulate(
         Universe::sp500(40),
@@ -61,6 +75,21 @@ fn bench_edge_acv_kernels(c: &mut Criterion) {
     });
     c.bench_function("kernel/pair_rows", |bch| {
         bch.iter(|| black_box(engine.pair_rows(black_box(a), black_box(b_attr))))
+    });
+    // The multi-head sweeps count *every* head per call; per-head compare
+    // against the single-head kernels divided by (n − |T|).
+    let mut counter = HeadCounter::new(disc.database.num_attrs(), disc.database.k());
+    c.bench_function("kernel/edge_acv_all_heads", |bch| {
+        bch.iter(|| {
+            engine.edge_acv_all_heads(black_box(a), &mut counter);
+            black_box(counter.acv(h))
+        })
+    });
+    c.bench_function("kernel/hyper_acv_all_heads", |bch| {
+        bch.iter(|| {
+            engine.hyper_acv_all_heads(black_box(&pair), &mut counter);
+            black_box(counter.acv(h))
+        })
     });
 }
 

@@ -1,0 +1,82 @@
+//! Emits a machine-readable construction-performance summary as JSON —
+//! per-strategy build times on the fixed bench fixture — so CI can upload
+//! it as an artifact and future changes have a perf trajectory to compare
+//! against.
+//!
+//! Usage: `perf_summary [OUTPUT_PATH]` (defaults to stdout only; with a
+//! path the JSON is also written there).
+
+use hypermine_core::{AssociationModel, CountStrategy, ModelConfig};
+use hypermine_market::{discretize_market, Market, SimConfig, Universe};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mirrors the `construction` bench fixture: 40 tickers, two simulated
+/// years, seed 5.
+const TICKERS: usize = 40;
+const N_DAYS: usize = 2 * 252;
+const SEED: u64 = 5;
+const RUNS: usize = 3;
+
+fn main() {
+    let market = Market::simulate(
+        Universe::sp500(TICKERS),
+        &SimConfig {
+            n_days: N_DAYS,
+            seed: SEED,
+            ..SimConfig::default()
+        },
+    );
+    let mut entries = String::new();
+    for k in [3u8, 5, 8] {
+        let disc = discretize_market(&market, k, None);
+        for (name, strategy) in [
+            ("bitset", CountStrategy::Bitset),
+            ("obsmajor", CountStrategy::ObsMajor),
+            ("auto", CountStrategy::Auto),
+        ] {
+            // threads: 1 keeps snapshots comparable across CI runners with
+            // different core counts (the artifact is a per-strategy
+            // single-core baseline, not a scaling benchmark).
+            let cfg = ModelConfig {
+                strategy,
+                threads: 1,
+                ..ModelConfig::c1()
+            };
+            // Warm-up, then best-of-RUNS wall time (min is the most stable
+            // point estimate on shared CI runners).
+            let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
+            let mut best = f64::INFINITY;
+            for _ in 0..RUNS {
+                let start = Instant::now();
+                model = AssociationModel::build(&disc.database, &cfg).unwrap();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            write!(
+                entries,
+                "    {{\"k\": {k}, \"strategy\": \"{name}\", \"millis\": {best:.3}, \
+                 \"edges\": {}}}",
+                model.hypergraph().num_edges()
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    let json = format!(
+        "{{\n  \"fixture\": {{\"tickers\": {TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \
+         \"gammas\": \"c1\", \"threads\": 1, \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ]\n}}\n"
+    );
+    print!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,15 +1,27 @@
 //! Association-hypergraph construction (Section 3.2.1).
+//!
+//! Both passes — directed edges over every ordered attribute pair, then
+//! 2-to-1 hyperedges over every `(unordered pair, head)` combination — run
+//! through the same scoped-thread chunking harness (`crate::parallel`) and
+//! dispatch between the two counting strategies (`CountStrategy`), with
+//! `Auto` resolved per pass. Chunks are contiguous work-list ranges merged
+//! in order, so edge ids are deterministic at every thread count and under
+//! every strategy.
 
-use crate::config::ModelConfig;
-use crate::counting::CountingEngine;
+use crate::config::{CountStrategy, ModelConfig};
+use crate::counting::{CountingEngine, HeadCounter};
 use crate::model::{node_of, AssociationModel};
+use crate::parallel::parallel_chunks;
 use hypermine_data::{AttrId, Database};
 use hypermine_hypergraph::DirectedHypergraph;
 
 pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
     let engine = CountingEngine::new(db);
     let n = db.num_attrs();
+    let k = db.k() as usize;
+    let m = db.num_obs();
     let attrs: Vec<AttrId> = db.attrs().collect();
+    let threads = cfg.effective_threads();
 
     let baseline: Vec<f64> = attrs.iter().map(|&h| engine.baseline_acv(h)).collect();
     let majority: Vec<_> = attrs
@@ -17,18 +29,61 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         .map(|&a| db.majority_value(a).map(|(v, _)| v))
         .collect();
 
-    // Pass 1: every ordered pair's directed-edge ACV. The raw ACV matrix is
-    // retained in full — the γ tests for 2-to-1 edges need it.
-    let mut raw_edge_acv = vec![0.0f64; n * n];
-    let mut graph = DirectedHypergraph::new(n);
+    // Pass 1: every ordered pair's directed-edge ACV, parallel over tail
+    // attributes (k rows per tail). The raw ACV matrix is retained in full —
+    // the γ tests for 2-to-1 edges need it.
+    let strategy1 = cfg.strategy.resolve(k, k, m);
+    let acv_chunks: Vec<Vec<f64>> = parallel_chunks(&attrs, threads, |slice| {
+        let mut counter = HeadCounter::new(n, db.k());
+        let mut out = Vec::with_capacity(slice.len() * n);
+        for &t in slice {
+            if strategy1 == CountStrategy::ObsMajor {
+                engine.edge_acv_all_heads(t, &mut counter);
+                out.extend(
+                    attrs
+                        .iter()
+                        .map(|&h| if h == t { 0.0 } else { counter.acv(h) }),
+                );
+            } else {
+                out.extend(
+                    attrs
+                        .iter()
+                        .map(|&h| if h == t { 0.0 } else { engine.edge_acv(t, h) }),
+                );
+            }
+        }
+        out
+    });
+    let mut raw_edge_acv = Vec::with_capacity(n * n);
+    for chunk in acv_chunks {
+        raw_edge_acv.extend(chunk);
+    }
+
+    // Kept directed edges are known before insertion: size everything once.
+    let edge_kept = |t: AttrId, h: AttrId| {
+        let acv = raw_edge_acv[t.index() * n + h.index()];
+        t != h && acv > 0.0 && acv >= cfg.gamma_edge * baseline[h.index()]
+    };
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    let mut kept1 = 0usize;
     for &t in &attrs {
         for &h in &attrs {
-            if t == h {
-                continue;
+            if edge_kept(t, h) {
+                kept1 += 1;
+                out_deg[t.index()] += 1;
+                in_deg[h.index()] += 1;
             }
-            let acv = engine.edge_acv(t, h);
-            raw_edge_acv[t.index() * n + h.index()] = acv;
-            if acv > 0.0 && acv >= cfg.gamma_edge * baseline[h.index()] {
+        }
+    }
+    let mut graph = DirectedHypergraph::with_capacity(n, kept1);
+    for &a in &attrs {
+        graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
+    }
+    for &t in &attrs {
+        for &h in &attrs {
+            if edge_kept(t, h) {
+                let acv = raw_edge_acv[t.index() * n + h.index()];
                 graph
                     .add_edge(&[node_of(t)], &[node_of(h)], acv)
                     .expect("distinct ordered pairs are valid unique edges");
@@ -36,7 +91,8 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         }
     }
 
-    // Pass 2: all (unordered pair, head) combinations, parallel over pairs.
+    // Pass 2: all (unordered pair, head) combinations, parallel over pairs
+    // (k² rows per pair).
     if cfg.with_hyperedges && n >= 3 {
         let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
@@ -44,40 +100,48 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
                 pairs.push((attrs[i], attrs[j]));
             }
         }
-        let threads = cfg.effective_threads().min(pairs.len()).max(1);
-        let chunk = pairs.len().div_ceil(threads);
+        let strategy2 = cfg.strategy.resolve(k * k, k, m);
         // Kept candidates: (a, b, h, acv).
+        let raw = &raw_edge_acv;
         let candidates: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for slice in pairs.chunks(chunk) {
-                    let engine = &engine;
-                    let raw = &raw_edge_acv;
-                    let attrs = &attrs;
-                    handles.push(scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for &(a, b) in slice {
-                            let pair = engine.pair_rows(a, b);
-                            for &h in attrs {
-                                if h == a || h == b {
-                                    continue;
-                                }
-                                let floor = raw[a.index() * n + h.index()]
-                                    .max(raw[b.index() * n + h.index()]);
-                                let acv = engine.hyper_acv(&pair, h);
-                                if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
-                                    out.push((a, b, h, acv));
-                                }
-                            }
+            parallel_chunks(&pairs, threads, |slice| {
+                let mut counter = HeadCounter::new(n, db.k());
+                let mut out = Vec::new();
+                for &(a, b) in slice {
+                    let pair = engine.pair_rows(a, b);
+                    if strategy2 == CountStrategy::ObsMajor {
+                        engine.hyper_acv_all_heads(&pair, &mut counter);
+                    }
+                    for &h in &attrs {
+                        if h == a || h == b {
+                            continue;
                         }
-                        out
-                    }));
+                        let acv = if strategy2 == CountStrategy::ObsMajor {
+                            counter.acv(h)
+                        } else {
+                            engine.hyper_acv(&pair, h)
+                        };
+                        let floor =
+                            raw[a.index() * n + h.index()].max(raw[b.index() * n + h.index()]);
+                        if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
+                            out.push((a, b, h, acv));
+                        }
+                    }
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
+                out
             });
+        let kept2: usize = candidates.iter().map(Vec::len).sum();
+        graph.reserve_edges(kept2);
+        out_deg.fill(0);
+        in_deg.fill(0);
+        for (a, b, h, _) in candidates.iter().flatten() {
+            out_deg[a.index()] += 1;
+            out_deg[b.index()] += 1;
+            in_deg[h.index()] += 1;
+        }
+        for &a in &attrs {
+            graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
+        }
         // Chunks are contiguous pair ranges, so appending in chunk order
         // keeps edge ids deterministic regardless of thread count.
         for chunk in candidates {
@@ -133,6 +197,20 @@ mod tests {
         .unwrap()
     }
 
+    fn assert_same_model(m: &AssociationModel, m1: &AssociationModel, what: &str) {
+        assert_eq!(
+            m.hypergraph().num_edges(),
+            m1.hypergraph().num_edges(),
+            "{what}"
+        );
+        for (id, e) in m.hypergraph().edges() {
+            let e1 = m1.hypergraph().edge(id);
+            assert_eq!(e.tail(), e1.tail(), "{what}");
+            assert_eq!(e.head(), e1.head(), "{what}");
+            assert_eq!(e.weight().to_bits(), e1.weight().to_bits(), "{what}");
+        }
+    }
+
     #[test]
     fn thread_count_does_not_change_the_model() {
         let d = db(8, 240);
@@ -147,17 +225,34 @@ mod tests {
                 ..ModelConfig::default()
             };
             let m = AssociationModel::build(&d, &cfg).unwrap();
-            assert_eq!(
-                m.hypergraph().num_edges(),
-                m1.hypergraph().num_edges(),
-                "threads = {threads}"
-            );
-            for (id, e) in m.hypergraph().edges() {
-                let e1 = m1.hypergraph().edge(id);
-                assert_eq!(e.tail(), e1.tail());
-                assert_eq!(e.head(), e1.head());
-                assert_eq!(e.weight(), e1.weight());
+            assert_same_model(&m, &m1, &format!("threads = {threads}"));
+        }
+    }
+
+    #[test]
+    fn strategy_does_not_change_the_model() {
+        let d = db(7, 150);
+        let mut models = Vec::new();
+        for strategy in [
+            CountStrategy::Auto,
+            CountStrategy::Bitset,
+            CountStrategy::ObsMajor,
+        ] {
+            for threads in [1, 3] {
+                let cfg = ModelConfig {
+                    strategy,
+                    threads,
+                    ..ModelConfig::default()
+                };
+                models.push((
+                    format!("{strategy:?} x{threads}"),
+                    AssociationModel::build(&d, &cfg).unwrap(),
+                ));
             }
+        }
+        let (ref_name, reference) = &models[0];
+        for (name, m) in &models[1..] {
+            assert_same_model(m, reference, &format!("{name} vs {ref_name}"));
         }
     }
 
@@ -211,10 +306,16 @@ mod tests {
             vec![vec![], vec![], vec![]],
         )
         .unwrap();
-        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
-        assert_eq!(m.hypergraph().num_edges(), 0);
-        assert_eq!(m.baseline_acv(AttrId::new(0)), 0.0);
-        assert_eq!(m.majority_value(AttrId::new(0)), None);
+        for strategy in [CountStrategy::Bitset, CountStrategy::ObsMajor] {
+            let cfg = ModelConfig {
+                strategy,
+                ..ModelConfig::default()
+            };
+            let m = AssociationModel::build(&d, &cfg).unwrap();
+            assert_eq!(m.hypergraph().num_edges(), 0);
+            assert_eq!(m.baseline_acv(AttrId::new(0)), 0.0);
+            assert_eq!(m.majority_value(AttrId::new(0)), None);
+        }
     }
 
     #[test]

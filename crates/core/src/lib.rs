@@ -41,6 +41,7 @@ mod euclid;
 mod leading;
 mod mining;
 mod model;
+mod parallel;
 mod rule;
 mod simgraph;
 mod similarity;
@@ -49,8 +50,8 @@ mod table;
 pub use classifier::{
     classify_targets, AssociationClassifier, ClassifierEval, Prediction,
 };
-pub use config::ModelConfig;
-pub use counting::{CountingEngine, PairRows};
+pub use config::{CountStrategy, ModelConfig};
+pub use counting::{CountingEngine, HeadCounter, PairRows};
 pub use euclid::euclidean_similarity;
 pub use leading::{
     dominating_adaptation, is_dominator, set_cover_adaptation, DominatorResult, SetCoverOptions,

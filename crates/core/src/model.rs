@@ -2,10 +2,12 @@
 
 use crate::builder;
 use crate::config::ModelConfig;
-use crate::counting::CountingEngine;
+use crate::counting::{CountingEngine, PairRows};
 use crate::table::AssociationTable;
 use hypermine_data::{AttrId, Database, Value};
 use hypermine_hypergraph::{DirectedHypergraph, EdgeId, NodeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Converts an attribute id to its hypergraph node (same raw index).
@@ -65,18 +67,67 @@ pub struct AssociationModel {
 /// On-demand access to association tables: holds a [`CountingEngine`] over
 /// the model's training database and recomputes any edge's table exactly
 /// (`O(k³ · m/64)` word operations per table).
+///
+/// Many kept 2-to-1 hyperedges share an unordered tail pair (the builder
+/// keeps every significant head of a pair), and rebuilding that pair's
+/// `k²` row bitsets per edge dominated table access. [`ModelTables::table`]
+/// therefore memoizes the most recently built [`PairRows`] — edges are
+/// stored pair-major, so iterating edges in id order builds each pair once
+/// — and [`ModelTables::tables_for_edges`] groups an arbitrary edge batch
+/// by pair explicitly.
 #[derive(Debug)]
 pub struct ModelTables<'m> {
     model: &'m AssociationModel,
     engine: CountingEngine<'m>,
+    /// Most recently built pair rows (see the type-level docs).
+    last_pair: RefCell<Option<PairRows>>,
 }
 
 impl<'m> ModelTables<'m> {
-    /// The association table of edge `e`.
-    pub fn table(&self, e: EdgeId) -> AssociationTable {
+    fn tail_and_head(&self, e: EdgeId) -> (Vec<AttrId>, AttrId) {
         let edge = self.model.graph.edge(e);
         let tail: Vec<AttrId> = edge.tail().iter().map(|&n| attr_of(n)).collect();
-        self.engine.table_for(&tail, attr_of(edge.head()[0]))
+        (tail, attr_of(edge.head()[0]))
+    }
+
+    /// The association table of edge `e`. Consecutive calls for hyperedges
+    /// sharing one unordered tail pair reuse the pair's cached row bitsets.
+    pub fn table(&self, e: EdgeId) -> AssociationTable {
+        let (tail, head) = self.tail_and_head(e);
+        match tail[..] {
+            [a, b] => {
+                let mut memo = self.last_pair.borrow_mut();
+                if memo.as_ref().is_none_or(|p| p.pair() != (a, b)) {
+                    *memo = Some(self.engine.pair_rows(a, b));
+                }
+                self.engine
+                    .hyper_table(memo.as_ref().expect("just built"), head)
+            }
+            _ => self.engine.table_for(&tail, head),
+        }
+    }
+
+    /// The association tables of `ids`, in input order, building each
+    /// distinct unordered tail pair's row bitsets exactly once no matter
+    /// how the ids are ordered. Preferred over per-edge [`ModelTables::table`]
+    /// calls when materializing a batch (e.g. a classifier's relevant
+    /// edges).
+    pub fn tables_for_edges(&self, ids: &[EdgeId]) -> Vec<AssociationTable> {
+        let mut pairs: HashMap<(AttrId, AttrId), PairRows> = HashMap::new();
+        ids.iter()
+            .map(|&id| {
+                let (tail, head) = self.tail_and_head(id);
+                match tail[..] {
+                    [a, b] => {
+                        let pair = pairs
+                            .entry((a, b))
+                            .or_insert_with(|| self.engine.pair_rows(a, b));
+                        self.engine.hyper_table(pair, head)
+                    }
+                    _ => self.engine.table_for(&tail, head),
+                }
+            })
+            .collect()
     }
 
     /// The table of an arbitrary `(tail, head)` combination, kept or not
@@ -125,6 +176,7 @@ impl AssociationModel {
         ModelTables {
             model: self,
             engine: CountingEngine::new(&self.db),
+            last_pair: RefCell::new(None),
         }
     }
 
@@ -331,6 +383,29 @@ mod tests {
             assert_eq!(t.tail().len(), e.tail_len());
             assert_eq!(node_of(t.head()), e.head()[0]);
             assert!((t.acv() - e.weight()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_tables_match_per_edge_tables() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let tables = m.tables();
+        let ids: Vec<EdgeId> = m.hypergraph().edges().map(|(id, _)| id).collect();
+        let batch = tables.tables_for_edges(&ids);
+        assert_eq!(batch.len(), ids.len());
+        for (&id, t) in ids.iter().zip(&batch) {
+            // The memoized per-edge path and the ungrouped engine path
+            // agree with the pair-grouped batch.
+            assert_eq!(*t, tables.table(id));
+            let (tail, head) = (t.tail().to_vec(), t.head());
+            assert_eq!(*t, tables.engine().naive_table(&tail, head));
+        }
+        // Reversed order regroups pairs but must not change any table.
+        let rev_ids: Vec<EdgeId> = ids.iter().rev().copied().collect();
+        let rev = tables.tables_for_edges(&rev_ids);
+        for (t, r) in batch.iter().zip(rev.iter().rev()) {
+            assert_eq!(t, r);
         }
     }
 

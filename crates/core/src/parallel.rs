@@ -1,0 +1,70 @@
+//! Scoped-thread chunking harness shared by both construction passes.
+//!
+//! The construction sweeps are embarrassingly parallel over a work list
+//! (tail attributes in pass 1, unordered pairs in pass 2) with results that
+//! must be merged **in work-list order** so edge ids stay deterministic at
+//! every thread count. This helper encodes that contract once: the work
+//! list is split into at most `threads` contiguous chunks, each chunk is
+//! processed by one scoped worker thread, and the per-chunk results are
+//! returned in chunk order.
+
+/// Runs `worker` over contiguous chunks of `items` on up to `threads`
+/// scoped threads, returning the per-chunk results in chunk order
+/// (chunk `i` covers `items[i*ceil(len/threads)..]`, so concatenating the
+/// results in order reproduces the sequential output exactly).
+///
+/// With `threads <= 1` or a single-chunk work list the worker runs inline
+/// on the caller's thread — no spawn overhead, identical results.
+pub(crate) fn parallel_chunks<T, R, F>(items: &[T], threads: usize, worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let chunk = items.len().div_ceil(threads);
+    if threads == 1 {
+        return vec![worker(items)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || worker(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("construction worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_chunk_order() {
+        let items: Vec<usize> = (0..17).collect();
+        for threads in [1, 2, 3, 5, 17, 40] {
+            let chunks = parallel_chunks(&items, threads, |slice| slice.to_vec());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_work_list() {
+        let chunks = parallel_chunks(&[] as &[usize], 4, |slice| slice.len());
+        assert!(chunks.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let chunks = parallel_chunks(&[42usize], 8, |slice| slice[0] * 2);
+        assert_eq!(chunks, vec![84]);
+    }
+}

@@ -86,6 +86,18 @@ impl AssociationTable {
             .fold(0usize, |acc, &v| acc * self.k as usize + (v as usize - 1))
     }
 
+    /// Validates a tail value assignment before mixed-radix encoding: a
+    /// wrong-length or out-of-range assignment (e.g. the reserved value 0)
+    /// would otherwise silently index the wrong row or panic opaquely.
+    fn checked_index_of(&self, values: &[Value]) -> usize {
+        assert_eq!(values.len(), self.tail.len(), "one value per tail attr");
+        assert!(
+            values.iter().all(|&v| v >= 1 && v <= self.k),
+            "values must lie in 1..=k"
+        );
+        self.index_of(values)
+    }
+
     fn decode(&self, mut idx: usize) -> Vec<Value> {
         let mut vals = vec![0 as Value; self.tail.len()];
         for slot in (0..self.tail.len()).rev() {
@@ -159,22 +171,17 @@ impl AssociationTable {
     /// # Panics
     /// Panics on a wrong-length assignment or out-of-range values.
     pub fn row(&self, tail_values: &[Value]) -> AtRow {
-        assert_eq!(
-            tail_values.len(),
-            self.tail.len(),
-            "one value per tail attr"
-        );
-        assert!(
-            tail_values.iter().all(|&v| v >= 1 && v <= self.k),
-            "values must lie in 1..=k"
-        );
-        self.view(self.index_of(tail_values))
+        self.view(self.checked_index_of(tail_values))
     }
 
     /// The weighted vote of a row for the classifier:
     /// `Supp(row) · Conf(row ⟹ best)` = `best_count / m`, computed exactly.
+    ///
+    /// # Panics
+    /// Panics on a wrong-length assignment or out-of-range values, exactly
+    /// like [`AssociationTable::row`].
     pub fn row_vote(&self, tail_values: &[Value]) -> (Option<Value>, f64) {
-        let r = &self.rows[self.index_of(tail_values)];
+        let r = &self.rows[self.checked_index_of(tail_values)];
         if r.best_head == 0 || self.num_obs == 0 {
             (None, 0.0)
         } else {
@@ -304,6 +311,28 @@ mod tests {
     #[should_panic(expected = "1..=k")]
     fn out_of_range_lookup_rejected() {
         table().row(&[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per tail attr")]
+    fn wrong_arity_vote_rejected() {
+        // Regression: row_vote used to skip validation, computing a garbage
+        // mixed-radix index for a wrong-length assignment.
+        table().row_vote(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=k")]
+    fn out_of_range_vote_rejected() {
+        // Regression: value 0 is reserved as invalid; unvalidated it
+        // underflows the mixed-radix encoding and reads the wrong row.
+        table().row_vote(&[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=k")]
+    fn above_range_vote_rejected() {
+        table().row_vote(&[3, 1]);
     }
 
     #[test]

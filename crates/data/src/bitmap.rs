@@ -2,10 +2,21 @@
 //!
 //! `ValueIndex` stores, for every attribute `a` and value `v`, the set of
 //! observations where `a = v` as a packed `u64` bitset. Support counting of a
-//! value combination then becomes word-level AND + popcount, which is what
-//! makes association-hypergraph construction tractable: the dominant cost of
-//! building ACVs for all `(pair, head)` combinations is
-//! `O(pairs · heads · k³ · m/64)` word operations.
+//! value combination then becomes word-level AND + popcount. This backs the
+//! **bitset** counting strategy of association-hypergraph construction:
+//! evaluating every head of one tail pair costs
+//! `O(heads · k² · (k−1) · m/64)` word operations (one AND+popcount per
+//! `(row, head value)` combination), i.e. `O(pairs · heads · k³ · m/64)`
+//! for the full sweep.
+//!
+//! That per-head cost grows cubically with `k`, so past roughly
+//! `k²·(k−1) ≈ 64` words stop paying for themselves and the
+//! **observation-major** strategy wins: iterate each tail row's set
+//! observations once (via these same bitsets) and bump per-head value
+//! counters from the row-major `ObsMatrix`, costing `O(k²·m/64 + m·heads)`
+//! per pair independent of `k³`. `hypermine_core`'s counting engine
+//! implements both and its `CountStrategy::Auto` picks by the estimated
+//! cost crossover; see `hypermine_core::counting` for the details.
 
 use crate::database::{AttrId, Database, Value};
 

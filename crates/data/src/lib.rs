@@ -10,7 +10,10 @@
 //!   measures of Definition 3.2 over [`Pattern`]s;
 //! - [`ValueIndex`]: per `(attribute, value)` observation bitsets enabling
 //!   counting of value combinations via word-level intersections — the
-//!   workhorse of association-hypergraph construction;
+//!   workhorse of the bitset counting strategy;
+//! - [`ObsMatrix`]: the row-major `m × n` transpose backing the
+//!   observation-major counting strategy (stream each observation once,
+//!   count all heads simultaneously);
 //! - [`discretize`]: equi-depth k-threshold vectors (Section 5.1.1),
 //!   equi-width cuts, fixed cut points, and arbitrary mapping discretizers;
 //! - [`delta_series`]: the fractional-change transform for financial
@@ -40,9 +43,11 @@ mod bitmap;
 mod database;
 mod delta;
 pub mod discretize;
+mod obs_matrix;
 mod support;
 
 pub use bitmap::ValueIndex;
 pub use database::{AttrId, Database, DatabaseError, Value};
+pub use obs_matrix::ObsMatrix;
 pub use delta::{delta_matrix, delta_series};
 pub use support::{confidence, support, support_count, Pattern};

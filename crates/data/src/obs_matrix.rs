@@ -1,0 +1,94 @@
+//! Row-major observation code matrix.
+//!
+//! [`Database`] stores columns contiguously, which is what the per-value
+//! bitset strategy wants. The observation-major counting strategy instead
+//! streams whole observations: for each observation in a tail row it reads
+//! the value of *every* candidate head attribute. [`ObsMatrix`] is the
+//! cache-friendly transpose supporting that access pattern — an `m × n`
+//! byte matrix whose row `o` holds observation `o`'s value for every
+//! attribute, so one sweep touches `n` contiguous bytes per observation.
+
+use crate::database::{Database, Value};
+
+/// Row-major `m × n` value matrix of a [`Database`]: `row(o)[a.index()]`
+/// is the value of attribute `a` in observation `o`.
+#[derive(Debug, Clone)]
+pub struct ObsMatrix {
+    num_attrs: usize,
+    num_obs: usize,
+    /// Layout: `codes[o * num_attrs + attr]`.
+    codes: Vec<Value>,
+}
+
+impl ObsMatrix {
+    /// Transposes the database in one pass over its columns.
+    pub fn build(db: &Database) -> Self {
+        let num_attrs = db.num_attrs();
+        let num_obs = db.num_obs();
+        let mut codes = vec![0 as Value; num_attrs * num_obs];
+        for a in db.attrs() {
+            let col = db.column(a);
+            let ai = a.index();
+            for (o, &v) in col.iter().enumerate() {
+                codes[o * num_attrs + ai] = v;
+            }
+        }
+        ObsMatrix {
+            num_attrs,
+            num_obs,
+            codes,
+        }
+    }
+
+    /// Number of attributes `n` (row width).
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Number of observations `m` (row count).
+    #[inline]
+    pub fn num_obs(&self) -> usize {
+        self.num_obs
+    }
+
+    /// Observation `o`'s values, one byte per attribute.
+    #[inline]
+    pub fn row(&self, o: usize) -> &[Value] {
+        &self.codes[o * self.num_attrs..(o + 1) * self.num_attrs]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_matches_database() {
+        let db = Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[[1, 2, 3], [3, 1, 2], [2, 2, 1]],
+        )
+        .unwrap();
+        let m = ObsMatrix::build(&db);
+        assert_eq!(m.num_attrs(), 3);
+        assert_eq!(m.num_obs(), 3);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.row(1), &[3, 1, 2]);
+        assert_eq!(m.row(2), &[2, 2, 1]);
+        for a in db.attrs() {
+            for o in 0..db.num_obs() {
+                assert_eq!(m.row(o)[a.index()], db.value(a, o));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::from_columns(vec!["x".into()], 2, vec![vec![]]).unwrap();
+        let m = ObsMatrix::build(&db);
+        assert_eq!(m.num_obs(), 0);
+        assert_eq!(m.num_attrs(), 1);
+    }
+}

@@ -1,8 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `report [--scale tiny|default|full] [--seed N] [--only SECTION]`
-//! where SECTION is one of: stats, t51, t52, t53, t54, f51, f52, f53, f54.
+//! Usage: `report [--scale tiny|default|full] [--seed N] [--only SECTION]
+//! [--strategy auto|bitset|obsmajor]` where SECTION is one of: stats, t51,
+//! t52, t53, t54, f51, f52, f53, f54. The counting strategy never changes
+//! any reported number (the strategies are bit-identical) — the flag exists
+//! to time and A/B the construction paths on real report workloads.
 
+use hypermine_core::CountStrategy;
 use hypermine_experiments::baselines::BaselineConfig;
 use hypermine_experiments::dominator_tables::{dominator_table, DominatorAlgorithm};
 use hypermine_experiments::{
@@ -11,10 +15,11 @@ use hypermine_experiments::{
 };
 use std::time::Instant;
 
-fn parse_args() -> (Scale, u64, Option<String>) {
+fn parse_args() -> (Scale, u64, Option<String>, CountStrategy) {
     let mut scale = Scale::default_scale();
     let mut seed = 7u64;
     let mut only = None;
+    let mut strategy = CountStrategy::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,17 +42,26 @@ fn parse_args() -> (Scale, u64, Option<String>) {
                     });
             }
             "--only" => only = args.next(),
+            "--strategy" => match args.next().as_deref() {
+                Some("auto") => strategy = CountStrategy::Auto,
+                Some("bitset") => strategy = CountStrategy::Bitset,
+                Some("obsmajor") => strategy = CountStrategy::ObsMajor,
+                other => {
+                    eprintln!("unknown strategy {other:?} (auto|bitset|obsmajor)");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
     }
-    (scale, seed, only)
+    (scale, seed, only, strategy)
 }
 
 fn main() {
-    let (scale, seed, only) = parse_args();
+    let (scale, seed, only, strategy) = parse_args();
     let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
     let t0 = Instant::now();
     println!(
@@ -56,9 +70,13 @@ fn main() {
     );
 
     let scenario = Scenario::new(scale, seed);
-    let c1 = scenario.build(&Configuration::c1());
+    let mut cfg1 = Configuration::c1();
+    cfg1.model.strategy = strategy;
+    let mut cfg2 = Configuration::c2();
+    cfg2.model.strategy = strategy;
+    let c1 = scenario.build(&cfg1);
     println!("[{:?}] C1 model built: {} edges", t0.elapsed(), c1.model.hypergraph().num_edges());
-    let c2 = scenario.build(&Configuration::c2());
+    let c2 = scenario.build(&cfg2);
     println!("[{:?}] C2 model built: {} edges\n", t0.elapsed(), c2.model.hypergraph().num_edges());
 
     if want("stats") {

@@ -81,6 +81,20 @@ impl DirectedHypergraph {
         g
     }
 
+    /// Reserves room for `additional` more edges in the edge store and the
+    /// exact-match index (bulk insertion after a counting sweep).
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+        self.index.reserve(additional);
+    }
+
+    /// Reserves room for `additional` more incident edge ids in node `v`'s
+    /// forward (`out`) and backward (`in`) stars.
+    pub fn reserve_incidence(&mut self, v: NodeId, out_additional: usize, in_additional: usize) {
+        self.out_edges[v.index()].reserve(out_additional);
+        self.in_edges[v.index()].reserve(in_additional);
+    }
+
     /// Number of nodes `|V|`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -168,10 +182,20 @@ impl DirectedHypergraph {
                 std::cmp::Ordering::Equal => return Err(HypergraphError::Overlap(tail[i])),
             }
         }
-        let key: EdgeKey = (tail.clone(), head.clone());
+        let key: EdgeKey = (tail, head);
         if let Some(&existing) = self.index.get(&key) {
             return Err(HypergraphError::DuplicateEdge(existing));
         }
+        let (tail, head) = key;
+        Ok(self.push_edge_unchecked(tail, head, weight))
+    }
+
+    /// Inserts an edge whose invariants are already established — `tail` and
+    /// `head` sorted, duplicate-free, disjoint, in range, `weight` finite,
+    /// and no edge with this `(tail, head)` key present. Used to copy edges
+    /// out of an already-valid hypergraph without re-sorting and
+    /// re-validating them.
+    fn push_edge_unchecked(&mut self, tail: Box<[NodeId]>, head: Box<[NodeId]>, weight: f64) -> EdgeId {
         let id = EdgeId::new(self.edges.len() as u32);
         for &t in tail.iter() {
             self.out_edges[t.index()].push(id);
@@ -179,9 +203,9 @@ impl DirectedHypergraph {
         for &h in head.iter() {
             self.in_edges[h.index()].push(id);
         }
-        self.index.insert(key, id);
+        self.index.insert((tail.clone(), head.clone()), id);
         self.edges.push(Hyperedge::new_unchecked(tail, head, weight));
-        Ok(id)
+        id
     }
 
     /// Finds the edge with exactly this `(tail, head)` pair, if present.
@@ -247,7 +271,9 @@ impl DirectedHypergraph {
     }
 
     /// Builds a new hypergraph over the same nodes keeping only edges
-    /// satisfying `pred`. Edge ids are *not* preserved.
+    /// satisfying `pred`. Edge ids are *not* preserved. Kept edges are
+    /// copied verbatim (already sorted, validated, and unique), skipping
+    /// `add_edge`'s per-edge re-sort and re-validation.
     pub fn filter_edges<F>(&self, mut pred: F) -> DirectedHypergraph
     where
         F: FnMut(EdgeId, &Hyperedge) -> bool,
@@ -255,8 +281,7 @@ impl DirectedHypergraph {
         let mut g = DirectedHypergraph::new(self.num_nodes);
         for (id, e) in self.edges() {
             if pred(id, e) {
-                g.add_edge(e.tail(), e.head(), e.weight())
-                    .expect("edges of a valid hypergraph stay valid");
+                g.push_edge_unchecked(e.tail().into(), e.head().into(), e.weight());
             }
         }
         g

@@ -1,0 +1,168 @@
+//! Cross-validation of the two counting strategies: `Bitset`, `ObsMajor`,
+//! and the naive recount must agree — bit for bit — on random databases
+//! across the k/thread matrix, and construction must be deterministic in
+//! edge ids at every thread count (both passes run parallel).
+
+use hypermine::core::{
+    AssociationModel, CountStrategy, CountingEngine, HeadCounter, ModelConfig,
+};
+use hypermine::data::{AttrId, Database};
+use proptest::prelude::*;
+
+/// Random database over `k ∈ {2, 3, 5, 8}` — the paper's C1/C2 settings
+/// plus the large-k regime the observation-major sweep targets.
+fn db_with_k() -> impl Strategy<Value = Database> {
+    (2usize..=5, 5usize..=60, 0usize..4).prop_flat_map(|(n_attrs, n_obs, k_idx)| {
+        let k = [2u8, 3, 5, 8][k_idx];
+        proptest::collection::vec(
+            proptest::collection::vec(1..=k, n_obs),
+            n_attrs,
+        )
+        .prop_map(move |cols| {
+            Database::from_columns(
+                (0..cols.len()).map(|i| format!("A{i}")).collect(),
+                k,
+                cols,
+            )
+            .expect("generated values are in range")
+        })
+    })
+}
+
+fn build(db: &Database, strategy: CountStrategy, threads: usize) -> AssociationModel {
+    AssociationModel::build(
+        db,
+        &ModelConfig {
+            strategy,
+            threads,
+            ..ModelConfig::default()
+        },
+    )
+    .expect("paper gammas are valid")
+}
+
+fn assert_identical(a: &AssociationModel, b: &AssociationModel, what: &str) {
+    assert_eq!(
+        a.hypergraph().num_edges(),
+        b.hypergraph().num_edges(),
+        "{what}: edge count"
+    );
+    for (id, e) in a.hypergraph().edges() {
+        let other = b.hypergraph().edge(id);
+        assert_eq!(e.tail(), other.tail(), "{what}: tail of {id:?}");
+        assert_eq!(e.head(), other.head(), "{what}: head of {id:?}");
+        assert_eq!(
+            e.weight().to_bits(),
+            other.weight().to_bits(),
+            "{what}: ACV of {id:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full strategy × thread matrix produces one identical model:
+    /// same edge ids, same tails/heads, bit-identical ACVs.
+    #[test]
+    fn strategy_matrix_is_bit_identical(db in db_with_k()) {
+        let reference = build(&db, CountStrategy::Bitset, 1);
+        for strategy in [CountStrategy::Bitset, CountStrategy::ObsMajor, CountStrategy::Auto] {
+            for threads in [1usize, 3] {
+                let m = build(&db, strategy, threads);
+                assert_identical(
+                    &m,
+                    &reference,
+                    &format!("{strategy:?} x {threads} threads vs Bitset x 1"),
+                );
+            }
+        }
+    }
+
+    /// Both fast sweeps agree with the naive (bitset-free) recount on every
+    /// directed edge and 2-to-1 hyperedge ACV.
+    #[test]
+    fn sweeps_match_naive_recount(db in db_with_k()) {
+        let engine = CountingEngine::new(&db);
+        let attrs: Vec<AttrId> = db.attrs().collect();
+        let mut counter = HeadCounter::new(db.num_attrs(), db.k());
+        for &t in &attrs {
+            engine.edge_acv_all_heads(t, &mut counter);
+            for &h in &attrs {
+                if h == t {
+                    continue;
+                }
+                let naive = engine.naive_table(&[t], h).acv();
+                prop_assert_eq!(engine.edge_acv(t, h).to_bits(), naive.to_bits());
+                prop_assert_eq!(counter.acv(h).to_bits(), naive.to_bits());
+            }
+        }
+        if attrs.len() >= 3 {
+            for (i, &a) in attrs.iter().enumerate() {
+                for &b in &attrs[i + 1..] {
+                    let pair = engine.pair_rows(a, b);
+                    engine.hyper_acv_all_heads(&pair, &mut counter);
+                    for &h in &attrs {
+                        if h == a || h == b {
+                            continue;
+                        }
+                        let naive = engine.naive_table(&[a, b], h).acv();
+                        prop_assert_eq!(engine.hyper_acv(&pair, h).to_bits(), naive.to_bits());
+                        prop_assert_eq!(counter.acv(h).to_bits(), naive.to_bits());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pass-1 parallelization regression: directed-edge ids must be assigned in
+/// the same tail-major order at every thread count (pass 2 was already
+/// parallel; pass 1 newly runs through the same chunking harness).
+#[test]
+fn pass_1_edge_ids_are_deterministic_across_thread_counts() {
+    // Strongly associated attribute family so pass 1 keeps many edges.
+    let n_attrs = 9;
+    let n_obs = 120;
+    let cols: Vec<Vec<u8>> = (0..n_attrs)
+        .map(|a| {
+            (0..n_obs)
+                .map(|o| ((o + a / 3) % 3 + 1) as u8)
+                .collect()
+        })
+        .collect();
+    let db = Database::from_columns(
+        (0..n_attrs).map(|i| format!("A{i}")).collect(),
+        3,
+        cols,
+    )
+    .unwrap();
+    let cfg = ModelConfig {
+        with_hyperedges: false, // isolate pass 1
+        threads: 1,
+        ..ModelConfig::default()
+    };
+    let reference = AssociationModel::build(&db, &cfg).unwrap();
+    assert!(
+        reference.hypergraph().num_edges() >= n_attrs,
+        "fixture keeps plenty of directed edges"
+    );
+    for threads in [2usize, 3, 4, 9, 16] {
+        for strategy in [CountStrategy::Bitset, CountStrategy::ObsMajor] {
+            let m = AssociationModel::build(
+                &db,
+                &ModelConfig {
+                    threads,
+                    strategy,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap();
+            assert_identical(
+                &m,
+                &reference,
+                &format!("pass 1 with {threads} threads, {strategy:?}"),
+            );
+        }
+    }
+}
