@@ -1,11 +1,12 @@
 //! Section 5.1.2 benchmark: association-hypergraph construction — the cost
 //! of computing every directed-edge and 2-to-1 hyperedge ACV with the
 //! γ-significance filter, across universe size `n`, value-domain size `k`
-//! (C1 uses k = 3, C2 uses k = 5; k = 8 probes the large-k regime), and
-//! counting strategy (`bitset` / `obsmajor` / `auto`). The strategy sweep
-//! demonstrates the observation-major crossover: `obsmajor` should win by
-//! ≥ 2× at k = 8 while `bitset` stays ahead at k = 3, with `auto` tracking
-//! the better of the two.
+//! (C1 uses k = 3, C2 uses k = 5; k = 8 and k = 12 probe the large-k
+//! regime), and counting strategy (`bitset` / `obsmajor` / `auto`). The
+//! strategy sweep demonstrates the observation-major crossover: `obsmajor`
+//! (PairRows-free pair buckets + dirty-list fold) should win by ≥ 4× at
+//! k = 8 and keep widening at k = 12, while `bitset` stays ahead at k = 3,
+//! with `auto` tracking the better of the two.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypermine_core::{AssociationModel, CountStrategy, ModelConfig};
@@ -30,7 +31,7 @@ fn bench_construction(c: &mut Criterion) {
                 ..SimConfig::default()
             },
         );
-        for &k in &[3u8, 5, 8] {
+        for &k in &[3u8, 5, 8, 12] {
             let disc = discretize_market(&market, k, None);
             for (name, strategy) in STRATEGIES {
                 let cfg = ModelConfig {
@@ -52,7 +53,7 @@ fn bench_construction(c: &mut Criterion) {
 
 fn bench_edge_acv_kernels(c: &mut Criterion) {
     use hypermine_core::{CountingEngine, HeadCounter};
-    use hypermine_data::AttrId;
+    use hypermine_data::{AttrId, PairBuckets};
     let market = Market::simulate(
         Universe::sp500(40),
         &SimConfig {
@@ -76,6 +77,16 @@ fn bench_edge_acv_kernels(c: &mut Criterion) {
     c.bench_function("kernel/pair_rows", |bch| {
         bch.iter(|| black_box(engine.pair_rows(black_box(a), black_box(b_attr))))
     });
+    // Per-pair setup of the observation-major path (counting sort into a
+    // warm scratch) — compare against kernel/pair_rows, its bitset-path
+    // counterpart.
+    let mut buckets = PairBuckets::new();
+    c.bench_function("kernel/pair_buckets", |bch| {
+        bch.iter(|| {
+            engine.bucket_pair(black_box(a), black_box(b_attr), &mut buckets);
+            black_box(buckets.num_obs())
+        })
+    });
     // The multi-head sweeps count *every* head per call; per-head compare
     // against the single-head kernels divided by (n − |T|).
     let mut counter = HeadCounter::new(disc.database.num_attrs(), disc.database.k());
@@ -85,9 +96,10 @@ fn bench_edge_acv_kernels(c: &mut Criterion) {
             black_box(counter.acv(h))
         })
     });
+    engine.bucket_pair(a, b_attr, &mut buckets);
     c.bench_function("kernel/hyper_acv_all_heads", |bch| {
         bch.iter(|| {
-            engine.hyper_acv_all_heads(black_box(&pair), &mut counter);
+            engine.hyper_acv_all_heads(black_box(&buckets), &mut counter);
             black_box(counter.acv(h))
         })
     });

@@ -1,10 +1,29 @@
 //! Emits a machine-readable construction-performance summary as JSON —
 //! per-strategy build times on the fixed bench fixture — so CI can upload
-//! it as an artifact and future changes have a perf trajectory to compare
-//! against.
+//! it as an artifact, and optionally **gates** against a committed
+//! baseline: with `--baseline <path>` the run fails (exit 1) if any
+//! `(k, strategy)` construction time regresses more than the tolerance
+//! over the baseline's.
 //!
-//! Usage: `perf_summary [OUTPUT_PATH]` (defaults to stdout only; with a
-//! path the JSON is also written there).
+//! Usage: `perf_summary [OUTPUT_PATH] [--baseline PATH] [--tolerance FRAC]
+//! [--raw]`
+//!
+//! - `OUTPUT_PATH`: also write the JSON there (stdout always gets it).
+//! - `--baseline PATH`: compare against a previous summary (e.g. the
+//!   committed `bench-baseline.json`) and fail on regressions.
+//! - `--tolerance FRAC`: allowed fractional slowdown before failing
+//!   (default 0.25, i.e. fail beyond +25%); generous because shared CI
+//!   runners jitter, while real regressions from a counting-engine change
+//!   are typically ≥ 2×.
+//! - `--raw`: compare absolute times. By default the gate **calibrates**
+//!   for hardware speed first: every matched entry's `new/old` ratio is
+//!   computed and the median ratio is treated as the machine-speed factor,
+//!   so a uniformly slower (or faster) runner than the baseline's author
+//!   machine doesn't trip (or mask) the gate — only entries regressing
+//!   relative to the rest of the suite do. The tradeoff: a change that
+//!   slows *every* strategy uniformly is attributed to hardware; the
+//!   per-strategy shape (which is what the counting-engine work optimizes)
+//!   is what's gated.
 
 use hypermine_core::{AssociationModel, CountStrategy, ModelConfig};
 use hypermine_market::{discretize_market, Market, SimConfig, Universe};
@@ -18,7 +37,87 @@ const N_DAYS: usize = 2 * 252;
 const SEED: u64 = 5;
 const RUNS: usize = 3;
 
+struct Args {
+    output: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    raw: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        output: None,
+        baseline: None,
+        tolerance: 0.25,
+        raw: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                args.baseline = Some(it.next().unwrap_or_else(|| usage("--baseline needs a path")))
+            }
+            "--tolerance" => {
+                let v = it.next().unwrap_or_else(|| usage("--tolerance needs a value"));
+                args.tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tolerance must be a number"));
+            }
+            "--raw" => args.raw = true,
+            _ if arg.starts_with("--") => usage(&format!("unknown flag {arg}")),
+            _ if args.output.is_none() => args.output = Some(arg),
+            _ => usage("at most one output path"),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("perf_summary: {msg}");
+    eprintln!("usage: perf_summary [OUTPUT_PATH] [--baseline PATH] [--tolerance FRAC] [--raw]");
+    std::process::exit(2);
+}
+
+/// One measured `(k, strategy)` construction time.
+struct Entry {
+    k: u8,
+    strategy: String,
+    millis: f64,
+}
+
+/// Extracts `(k, strategy, millis)` entries from a summary JSON produced
+/// by this binary (minimal field scan — the format is our own; serde is
+/// not vendored).
+fn parse_entries(json: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for obj in json.split('{').skip(1) {
+        let field = |name: &str| -> Option<&str> {
+            let start = obj.find(&format!("\"{name}\":"))? + name.len() + 3;
+            let rest = obj[start..].trim_start();
+            let end = rest
+                .find([',', '}', '\n'])
+                .unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"'))
+        };
+        let (Some(k), Some(strategy), Some(millis)) =
+            (field("k"), field("strategy"), field("millis"))
+        else {
+            continue;
+        };
+        let (Ok(k), Ok(millis)) = (k.parse(), millis.parse()) else {
+            continue;
+        };
+        out.push(Entry {
+            k,
+            strategy: strategy.to_string(),
+            millis,
+        });
+    }
+    out
+}
+
 fn main() {
+    let args = parse_args();
     let market = Market::simulate(
         Universe::sp500(TICKERS),
         &SimConfig {
@@ -28,7 +127,8 @@ fn main() {
         },
     );
     let mut entries = String::new();
-    for k in [3u8, 5, 8] {
+    let mut measured: Vec<Entry> = Vec::new();
+    for k in [3u8, 5, 8, 12] {
         let disc = discretize_market(&market, k, None);
         for (name, strategy) in [
             ("bitset", CountStrategy::Bitset),
@@ -62,6 +162,11 @@ fn main() {
                 model.hypergraph().num_edges()
             )
             .expect("writing to a String cannot fail");
+            measured.push(Entry {
+                k,
+                strategy: name.to_string(),
+                millis: best,
+            });
         }
     }
     let json = format!(
@@ -69,14 +174,86 @@ fn main() {
          \"gammas\": \"c1\", \"threads\": 1, \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ]\n}}\n"
     );
     print!("{json}");
-    if let Some(path) = std::env::args().nth(1) {
-        if let Some(dir) = std::path::Path::new(&path).parent() {
+    if let Some(path) = &args.output {
+        if let Some(dir) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        std::fs::write(&path, &json).unwrap_or_else(|e| {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_entries(&text);
+        if baseline.is_empty() {
+            eprintln!("baseline {path} holds no (k, strategy, millis) entries");
+            std::process::exit(1);
+        }
+        let matched: Vec<(&Entry, &Entry)> = baseline
+            .iter()
+            .filter_map(|old| {
+                measured
+                    .iter()
+                    .find(|e| e.k == old.k && e.strategy == old.strategy)
+                    .map(|new| (old, new))
+            })
+            .collect();
+        if matched.len() < baseline.len() {
+            // A baseline row with no counterpart means the sweep shrank —
+            // the gate would silently stop checking that path. Hard error.
+            for old in &baseline {
+                if !matched.iter().any(|(o, _)| std::ptr::eq(*o, old)) {
+                    eprintln!(
+                        "baseline entry k={} strategy={} was not measured this run",
+                        old.k, old.strategy
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+        // Machine-speed calibration: the median new/old ratio is what a
+        // hardware difference between the baseline's machine and this one
+        // looks like; gate each entry against it (see the module docs).
+        let factor = if args.raw {
+            1.0
+        } else {
+            let mut ratios: Vec<f64> =
+                matched.iter().map(|(o, n)| n.millis / o.millis).collect();
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+            ratios[ratios.len() / 2]
+        };
+        if !args.raw {
+            eprintln!("machine-speed calibration factor (median new/old): {factor:.3}");
+        }
+        let mut regressed = 0usize;
+        for (old, new) in &matched {
+            let limit = old.millis * factor * (1.0 + args.tolerance);
+            let verdict = if new.millis > limit {
+                regressed += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "k={:<2} {:<8} {:>9.3} ms vs baseline {:>9.3} ms (limit {:>9.3}) {}",
+                old.k, old.strategy, new.millis, old.millis, limit, verdict
+            );
+        }
+        if regressed > 0 {
+            eprintln!(
+                "{regressed} construction timing(s) regressed more than {:.0}% over {path}",
+                args.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "all construction timings within {:.0}% of {path}",
+            args.tolerance * 100.0
+        );
     }
 }

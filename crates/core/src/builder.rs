@@ -2,17 +2,21 @@
 //!
 //! Both passes — directed edges over every ordered attribute pair, then
 //! 2-to-1 hyperedges over every `(unordered pair, head)` combination — run
-//! through the same scoped-thread chunking harness (`crate::parallel`) and
-//! dispatch between the two counting strategies (`CountStrategy`), with
-//! `Auto` resolved per pass. Chunks are contiguous work-list ranges merged
-//! in order, so edge ids are deterministic at every thread count and under
-//! every strategy.
+//! through the scoped-thread harness in `crate::parallel` and dispatch
+//! between the two counting strategies (`CountStrategy`), with `Auto`
+//! resolved per pass. Pass 1 (uniform per-tail cost, short work list) uses
+//! contiguous chunks; pass 2 uses work-stealing fixed-size blocks claimed
+//! off an atomic cursor. Either way results are merged in work-list order,
+//! so edge ids are deterministic at every thread count and under every
+//! strategy. The observation-major pass 2 never builds `PairRows`: each
+//! worker re-buckets the pair's observations into a thread-local
+//! `PairBuckets` scratch and sweeps those buckets directly.
 
 use crate::config::{CountStrategy, ModelConfig};
 use crate::counting::{CountingEngine, HeadCounter};
 use crate::model::{node_of, AssociationModel};
-use crate::parallel::parallel_chunks;
-use hypermine_data::{AttrId, Database};
+use crate::parallel::{parallel_blocks, parallel_chunks};
+use hypermine_data::{AttrId, Database, PairBuckets};
 use hypermine_hypergraph::DirectedHypergraph;
 
 pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
@@ -101,34 +105,47 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
             }
         }
         let strategy2 = cfg.strategy.resolve(k * k, k, m);
-        // Kept candidates: (a, b, h, acv).
+        // Kept candidates: (a, b, h, acv). Blocks are claimed off an atomic
+        // cursor (work stealing), sized for ~8 blocks per thread so uneven
+        // per-pair costs rebalance across workers; each worker thread keeps
+        // one HeadCounter + PairBuckets scratch across all its blocks.
+        let block = pairs.len().div_ceil(threads * 8).max(1);
         let raw = &raw_edge_acv;
+        let (engine, attrs) = (&engine, &attrs);
         let candidates: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
-            parallel_chunks(&pairs, threads, |slice| {
+            parallel_blocks(&pairs, threads, block, || {
                 let mut counter = HeadCounter::new(n, db.k());
-                let mut out = Vec::new();
-                for &(a, b) in slice {
-                    let pair = engine.pair_rows(a, b);
-                    if strategy2 == CountStrategy::ObsMajor {
-                        engine.hyper_acv_all_heads(&pair, &mut counter);
-                    }
-                    for &h in &attrs {
-                        if h == a || h == b {
-                            continue;
+                let mut buckets = PairBuckets::new();
+                move |slice: &[(AttrId, AttrId)]| {
+                    let mut out = Vec::new();
+                    for &(a, b) in slice {
+                        // ObsMajor is PairRows-free: bucket obs ids by
+                        // (v_a, v_b) and sweep the buckets for all heads at
+                        // once. Bitset counts each head over cached pair
+                        // row bitsets.
+                        let pair = (strategy2 != CountStrategy::ObsMajor)
+                            .then(|| engine.pair_rows(a, b));
+                        if strategy2 == CountStrategy::ObsMajor {
+                            engine.bucket_pair(a, b, &mut buckets);
+                            engine.hyper_acv_all_heads(&buckets, &mut counter);
                         }
-                        let acv = if strategy2 == CountStrategy::ObsMajor {
-                            counter.acv(h)
-                        } else {
-                            engine.hyper_acv(&pair, h)
-                        };
-                        let floor =
-                            raw[a.index() * n + h.index()].max(raw[b.index() * n + h.index()]);
-                        if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
-                            out.push((a, b, h, acv));
+                        for &h in attrs {
+                            if h == a || h == b {
+                                continue;
+                            }
+                            let acv = match &pair {
+                                Some(pair) => engine.hyper_acv(pair, h),
+                                None => counter.acv(h),
+                            };
+                            let floor = raw[a.index() * n + h.index()]
+                                .max(raw[b.index() * n + h.index()]);
+                            if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
+                                out.push((a, b, h, acv));
+                            }
                         }
                     }
+                    out
                 }
-                out
             });
         let kept2: usize = candidates.iter().map(Vec::len).sum();
         graph.reserve_edges(kept2);
@@ -139,11 +156,12 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
             out_deg[b.index()] += 1;
             in_deg[h.index()] += 1;
         }
-        for &a in &attrs {
+        for &a in attrs {
             graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
         }
-        // Chunks are contiguous pair ranges, so appending in chunk order
-        // keeps edge ids deterministic regardless of thread count.
+        // Blocks are fixed contiguous pair ranges returned in block order
+        // no matter which worker claimed them, so appending in order keeps
+        // edge ids deterministic regardless of thread count.
         for chunk in candidates {
             for (a, b, h, acv) in chunk {
                 graph

@@ -13,9 +13,12 @@ pub enum CountStrategy {
     /// operations per head. Wins at small `k`, where one 64-bit word
     /// covers many observations per intersection.
     Bitset,
-    /// Observation-major multi-head sweep: iterate each tail row's set
-    /// observations once and bump per-head value counters for all heads
-    /// simultaneously — `O(m + rows·k)` per head, independent of the
+    /// Observation-major multi-head sweep: stream each tail row's
+    /// observations once (pass 2 reads row memberships off `PairBuckets`
+    /// — no bitset intersections, no `PairRows`) and bump per-head value
+    /// counters for all heads simultaneously, folding each row with an
+    /// adaptive (exact-small-row / dirty-list / unrolled-dense) best-count
+    /// scan — `O(m + rows + rows·k/8)` per head, independent of the
     /// `k³/64` factor. Wins once `k` grows past the paper's settings.
     ObsMajor,
 }
@@ -28,18 +31,21 @@ impl CountStrategy {
     /// Cost model, per head of one tail: the bitset path performs
     /// `rows · (k−1)` intersection popcounts of `⌈m/64⌉` words; the
     /// observation-major path performs `m` counter bumps (the rows
-    /// partition the observations) plus a `rows · k` best-count scan.
-    /// Comparing the two operation counts directly matches the measured
-    /// crossover on x86-64 (bench fixture, `m ≈ 500`): the paper's C1
-    /// setting `k = 3` stays on `Bitset` (≈2× faster there), the pair pass
-    /// switches to `ObsMajor` from C2's `k = 5` (≈1.4× faster) and wins
-    /// ≈3× by `k = 8`.
+    /// partition the observations) plus a per-row best-count fold that the
+    /// v3 engine runs at roughly one-eighth of a scalar op per counter
+    /// slot (unrolled dense scan; sparse rows cost even less via the
+    /// dirty list) — `m + rows + rows·k/8`. Comparing the two operation
+    /// counts directly matches the measured crossover on x86-64 (bench
+    /// fixture, `m ≈ 500`): the paper's C1 setting `k = 3` stays on
+    /// `Bitset` (≈1.9× faster there), the pair pass switches to `ObsMajor`
+    /// from C2's `k = 5` (≈1.8× faster) and wins ≈5× by `k = 8`, while
+    /// the cheap directed pass 1 holds out until `k = 12`.
     pub fn resolve(self, rows_per_tail: usize, k: usize, num_obs: usize) -> CountStrategy {
         match self {
             CountStrategy::Auto => {
                 let words = num_obs.div_ceil(64);
                 let bitset_per_head = rows_per_tail * k.saturating_sub(1) * words;
-                let obs_per_head = num_obs + rows_per_tail * k;
+                let obs_per_head = num_obs + rows_per_tail + rows_per_tail * k / 8;
                 if bitset_per_head > obs_per_head {
                     CountStrategy::ObsMajor
                 } else {
@@ -146,6 +152,14 @@ mod tests {
         assert_eq!(CountStrategy::Auto.resolve(64, 8, m), CountStrategy::ObsMajor);
         assert_eq!(
             CountStrategy::Auto.resolve(144, 12, m),
+            CountStrategy::ObsMajor
+        );
+        // The directed pass crosses over at k = 12 (the pair-bucket engine
+        // made ObsMajor cheap enough that only intersection-heavy tails
+        // keep Bitset competitive)…
+        assert_eq!(CountStrategy::Auto.resolve(8, 8, m), CountStrategy::Bitset);
+        assert_eq!(
+            CountStrategy::Auto.resolve(12, 12, m),
             CountStrategy::ObsMajor
         );
         // Degenerate inputs never panic and fall back to Bitset.

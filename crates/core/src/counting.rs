@@ -12,12 +12,17 @@
 //!   [`CountingEngine::pair_rows`]) and performs `k²·(k−1)` intersection
 //!   popcounts per head — `O(rows · (k−1) · m/64)` words per head.
 //! - **Observation-major** (multi-head): [`edge_acv_all_heads`] /
-//!   [`hyper_acv_all_heads`] iterate each tail row's set observations
-//!   *once* and bump `counts[head][value(head, obs)]` for **all** heads
-//!   simultaneously into a reusable [`HeadCounter`], then read each head's
-//!   best count off the scratch — `O(k²·m/64 + m·(n−2) + k³·(n−2))` per
-//!   pair instead of `O((n−2)·k²·(k−1)·m/64)`, a `~k³/64`-fold win per
-//!   head that grows with `k`.
+//!   [`hyper_acv_all_heads`] iterate each tail row's observations *once*
+//!   and bump `counts[head][value(head, obs)]` for **all** heads
+//!   simultaneously into a reusable [`HeadCounter`]. The pair sweep is
+//!   **PairRows-free**: it reads row memberships straight off
+//!   [`PairBuckets`] (obs ids grouped by `(v_a, v_b)` in one counting-sort
+//!   pass), never intersecting bitsets, and the per-row best-count fold
+//!   scans only the counter slots the row actually touched (a dirty list),
+//!   so a sparse row costs `O(touched)` instead of `O(n·k)`. Per pair:
+//!   `O(m + m·(n−2) + Σ_rows touched)` versus the bitset path's
+//!   `O(k²·m/64 + (n−2)·k²·(k−1)·m/64)` — both the `k³/64` per-head factor
+//!   and the `k²·m/64` pair-setup term are gone.
 //!
 //! Both strategies produce bit-identical ACVs (they accumulate the same
 //! integer counts and perform the same final division); the builder picks
@@ -25,14 +30,16 @@
 //! `*_acv*` methods are allocation-free (the construction sweep touches
 //! tens of millions of `(pair, head)` combinations); the `*_table` methods
 //! materialize full [`AssociationTable`]s and are used on demand — by the
-//! classifier for its relevant edges and by reporting code. A naive recount
-//! path cross-validates both fast paths in tests.
+//! classifier for its relevant edges and by reporting code ([`PairRows`]
+//! lives on for exactly those per-head table paths). A naive recount path
+//! cross-validates both fast paths in tests.
 //!
 //! [`edge_acv_all_heads`]: CountingEngine::edge_acv_all_heads
 //! [`hyper_acv_all_heads`]: CountingEngine::hyper_acv_all_heads
+//! [`PairBuckets`]: hypermine_data::PairBuckets
 
 use crate::table::{AssociationTable, RowCounts};
-use hypermine_data::{AttrId, Database, ObsMatrix, Value, ValueIndex};
+use hypermine_data::{AttrId, Database, ObsMatrix, PairBuckets, Value, ValueIndex};
 
 /// Cached tail-row bitsets for an unordered attribute pair `{a, b}`:
 /// `k²` bitsets (one per `(v_a, v_b)` assignment) plus their popcounts.
@@ -72,15 +79,47 @@ impl PairRows {
 /// [`CountingEngine::edge_acv_all_heads`] /
 /// [`CountingEngine::hyper_acv_all_heads`]; after a sweep, [`HeadCounter::acv`]
 /// reads any head's ACV.
+///
+/// The per-row best-count fold is adaptive on the row's observation count
+/// `c`:
+///
+/// - `c == 1`: every head's best count is 1 — the row is tallied in `O(1)`
+///   and folded into the totals once per sweep, with no counting at all;
+/// - `c == 2`: the two observation rows are compared directly — `O(n)`,
+///   no counter traffic;
+/// - sparse rows (`2 < c < k/4`): the bump loop records first-touched
+///   slots in a **dirty list** and the fold scans and zeroes only those —
+///   `O(c·n)` instead of the dense fold's `O(n·k)`, the regime where the
+///   old fold's `k³·(n−2)` pair-pass term lived;
+/// - dense rows: plain increments (no tracking tax, two observations per
+///   head walk) and a `k`-monomorphized unrolled max-and-zero scan over
+///   each head's `k` slots.
 #[derive(Debug, Clone)]
 pub struct HeadCounter {
     k: usize,
     num_obs: usize,
-    /// `counts[head * k + (value - 1)]`, zeroed between rows by the
-    /// best-count scan itself.
+    /// Head-major counter matrix: `counts[head * k + (value − 1)]` —
+    /// matches the bump loop's per-observation head walk (`h·k` is
+    /// strength-reduced to an addition). Zeroed between rows by whichever
+    /// fold ran.
     counts: Vec<u32>,
+    /// Slots of `counts` first-touched by a sparse row, packed as
+    /// `(head << 32) | slot`; drained (and the slots zeroed) by the
+    /// sparse fold.
+    dirty: Vec<u64>,
+    /// Sparse-fold scratch: per-head best of the current row, **kept
+    /// zeroed** between sparse folds (the fold re-zeroes what it touched).
+    sparse_best: Vec<u32>,
+    /// Heads touched during a sparse fold (scratch).
+    dirty_heads: Vec<u32>,
+    /// Rows with exactly one observation seen this sweep; folded into
+    /// every non-tail total by `finish` (each contributes best count 1).
+    single_rows: u64,
     /// Per head: `Σ_rows max_v counts[head][v]` — the ACV numerator.
     totals: Vec<u64>,
+    /// The attribute indices of the swept tail (`usize::MAX` padding);
+    /// their totals are never accumulated.
+    tail: [usize; 2],
 }
 
 impl HeadCounter {
@@ -91,30 +130,259 @@ impl HeadCounter {
             k: k as usize,
             num_obs: 0,
             counts: vec![0u32; num_attrs * k as usize],
+            dirty: Vec::with_capacity(num_attrs * k as usize),
+            sparse_best: vec![0u32; num_attrs],
+            dirty_heads: Vec::with_capacity(num_attrs),
+            single_rows: 0,
             totals: vec![0u64; num_attrs],
+            tail: [usize::MAX; 2],
         }
     }
 
+    /// Sparse-row cutoff: rows with `2 < c <` this many observations use
+    /// the dirty-list bump + fold (`O(c·n)` work) instead of plain
+    /// increments + the dense fold (`O(c·n + n·k)`, but with a far
+    /// cheaper unrolled per-slot scan). The tracking tax on every bump
+    /// only pays for itself when the row touches well under a quarter of
+    /// each head's `k` slots, so the cutoff is `k/4` — inert at the
+    /// paper's domain sizes (rows that small are caught by the exact
+    /// 1-/2-observation folds first) and increasingly active as `k` grows
+    /// past 12, exactly the regime where the dense fold's `k³·(n−2)`
+    /// pair-pass term used to live.
+    #[inline]
+    fn sparse_cutoff(&self) -> usize {
+        self.k / 4
+    }
+
     /// Resets the accumulated totals for a new sweep over `num_obs`
-    /// observations (the row scratch is kept zeroed by the sweep itself).
-    fn begin(&mut self, num_obs: usize) {
+    /// observations with the given tail attribute indices (the row scratch
+    /// is kept zeroed by the folds themselves).
+    fn begin(&mut self, num_obs: usize, tail: [usize; 2]) {
         self.num_obs = num_obs;
+        self.tail = tail;
+        self.single_rows = 0;
         self.totals.fill(0);
     }
 
+    /// Tallies a row with exactly one observation: every head's best count
+    /// is 1, deferred to `finish` as a single per-sweep addition.
+    #[inline]
+    fn fold_single(&mut self) {
+        self.single_rows += 1;
+    }
+
+    /// Folds a row with exactly two observations by comparing their value
+    /// rows directly: a head's best count is 2 where they agree, else 1.
+    fn fold_two(&mut self, row_a: &[Value], row_b: &[Value]) {
+        let [t0, t1] = self.tail;
+        for (h, (&va, &vb)) in row_a.iter().zip(row_b).enumerate() {
+            if h != t0 && h != t1 {
+                self.totals[h] += 1 + u64::from(va == vb);
+            }
+        }
+    }
+
+    /// Bumps `counts[head][value]` for every attribute of one observation
+    /// row (dense path — no tracking).
+    #[inline]
+    fn bump_obs(&mut self, row: &[Value]) {
+        let k = self.k;
+        for (h, &v) in row.iter().enumerate() {
+            self.counts[h * k + (v as usize - 1)] += 1;
+        }
+    }
+
+    /// Bumps two observation rows in one head walk. The interleaved
+    /// increments form two independent read-modify-write chains per head,
+    /// hiding the store-to-load latency the one-row loop is bound by
+    /// (when both observations share a value the two increments simply
+    /// land on the same slot back to back).
+    #[inline]
+    fn bump_obs2(&mut self, row_a: &[Value], row_b: &[Value]) {
+        let k = self.k;
+        for (h, (&va, &vb)) in row_a.iter().zip(row_b).enumerate() {
+            self.counts[h * k + (va as usize - 1)] += 1;
+            self.counts[h * k + (vb as usize - 1)] += 1;
+        }
+    }
+
+    /// Bumps `counts[head][value]` for every attribute of one observation
+    /// row, recording first-touched slots in the dirty list (sparse path).
+    #[inline]
+    fn bump_obs_tracked(&mut self, row: &[Value]) {
+        let k = self.k;
+        for (h, &v) in row.iter().enumerate() {
+            let slot = h * k + (v as usize - 1);
+            let c = self.counts[slot];
+            if c == 0 {
+                self.dirty.push(((h as u64) << 32) | slot as u64);
+            }
+            self.counts[slot] = c + 1;
+        }
+    }
+
+    /// Ends a sparse tail row: folds each touched head's best count into
+    /// its total (tail heads excluded) and re-zeroes exactly the touched
+    /// slots. `O(touched)`, not `O(n·k)`.
+    fn fold_row_sparse(&mut self) {
+        for e in self.dirty.drain(..) {
+            let h = (e >> 32) as usize;
+            let slot = (e & u64::from(u32::MAX)) as usize;
+            let c = self.counts[slot];
+            self.counts[slot] = 0;
+            if self.sparse_best[h] == 0 {
+                self.dirty_heads.push(h as u32);
+            }
+            if c > self.sparse_best[h] {
+                self.sparse_best[h] = c;
+            }
+        }
+        let [t0, t1] = self.tail;
+        for &h in &self.dirty_heads {
+            let h = h as usize;
+            if h != t0 && h != t1 {
+                self.totals[h] += self.sparse_best[h] as u64;
+            }
+            self.sparse_best[h] = 0;
+        }
+        self.dirty_heads.clear();
+    }
+
+    /// Ends a dense tail row: per-head max over the head's `k` counter
+    /// slots, zeroing as it scans. Dispatches to a `k`-monomorphized body
+    /// for the common domain sizes so the compiler fully unrolls (and
+    /// vectorizes) the tiny inner loop.
+    fn fold_row_dense(&mut self) {
+        match self.k {
+            2 => self.fold_row_dense_k::<2>(),
+            3 => self.fold_row_dense_k::<3>(),
+            4 => self.fold_row_dense_k::<4>(),
+            5 => self.fold_row_dense_k::<5>(),
+            6 => self.fold_row_dense_k::<6>(),
+            8 => self.fold_row_dense_k::<8>(),
+            10 => self.fold_row_dense_k::<10>(),
+            12 => self.fold_row_dense_k::<12>(),
+            16 => self.fold_row_dense_k::<16>(),
+            _ => self.fold_row_dense_any(),
+        }
+    }
+
+    /// `fold_row_dense` body for a compile-time `K == self.k`.
+    fn fold_row_dense_k<const K: usize>(&mut self) {
+        let [t0, t1] = self.tail;
+        for (h, (chunk, t)) in self
+            .counts
+            .chunks_exact_mut(K)
+            .zip(self.totals.iter_mut())
+            .enumerate()
+        {
+            let chunk: &mut [u32; K] = chunk.try_into().expect("chunk length is K");
+            let mut best = 0u32;
+            for c in chunk {
+                best = best.max(*c);
+                *c = 0;
+            }
+            if h != t0 && h != t1 {
+                *t += best as u64;
+            }
+        }
+    }
+
+    /// `fold_row_dense` body for arbitrary runtime `k`.
+    fn fold_row_dense_any(&mut self) {
+        let [t0, t1] = self.tail;
+        for (h, (chunk, t)) in self
+            .counts
+            .chunks_exact_mut(self.k)
+            .zip(self.totals.iter_mut())
+            .enumerate()
+        {
+            let mut best = 0u32;
+            for c in chunk {
+                if *c > best {
+                    best = *c;
+                }
+                *c = 0;
+            }
+            if h != t0 && h != t1 {
+                *t += best as u64;
+            }
+        }
+    }
+
+    /// Ends a sweep: folds the deferred single-observation rows into every
+    /// non-tail total.
+    fn finish(&mut self) {
+        if self.single_rows == 0 {
+            return;
+        }
+        let [t0, t1] = self.tail;
+        for (h, t) in self.totals.iter_mut().enumerate() {
+            if h != t0 && h != t1 {
+                *t += self.single_rows;
+            }
+        }
+    }
+
     /// The accumulated ACV numerator of head `h` from the last sweep.
+    ///
+    /// `h` must lie outside the swept tail: tail heads are never
+    /// accumulated (debug builds assert; release builds read the
+    /// constant 0 their totals are pinned to).
     pub fn total(&self, h: AttrId) -> u64 {
+        debug_assert!(
+            !self.tail.contains(&h.index()),
+            "HeadCounter::total read for swept tail head {h:?}"
+        );
         self.totals[h.index()]
     }
 
-    /// The ACV of head `h` from the last sweep. Only meaningful for heads
-    /// outside the swept tail; zero on an empty database.
+    /// The ACV of head `h` from the last sweep; zero on an empty database.
+    ///
+    /// `h` must lie outside the swept tail: tail heads are never
+    /// accumulated (debug builds assert; release builds read the
+    /// constant 0 their totals are pinned to).
     pub fn acv(&self, h: AttrId) -> f64 {
+        debug_assert!(
+            !self.tail.contains(&h.index()),
+            "HeadCounter::acv read for swept tail head {h:?}"
+        );
         if self.num_obs == 0 {
             return 0.0;
         }
         self.totals[h.index()] as f64 / self.num_obs as f64
     }
+}
+
+/// Calls `f` with the index of every set bit of `bits`, ascending.
+#[inline]
+fn for_each_bit(bits: &[u64], mut f: impl FnMut(usize)) {
+    for (w_idx, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            f(w_idx * 64 + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+}
+
+/// The indices of the first two set bits of `bits` (which must have at
+/// least two).
+#[inline]
+fn first_two_bits(bits: &[u64]) -> (usize, usize) {
+    let mut first = None;
+    for (w_idx, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let o = w_idx * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            match first {
+                None => first = Some(o),
+                Some(f) => return (f, o),
+            }
+        }
+    }
+    unreachable!("caller guarantees at least two set bits");
 }
 
 /// Support/ACV counting over one database.
@@ -195,38 +463,18 @@ impl<'a> CountingEngine<'a> {
         (best_v, best_c as u32)
     }
 
-    /// One row of the observation-major sweep: iterates the row bitset's
-    /// set observations once, bumping `out.counts[head][value]` for every
-    /// attribute, then folds each head's best count into `out.totals`
-    /// (zeroing the scratch as it scans). `tail_idx` names the attribute
-    /// indices of the swept tail, whose totals stay untouched.
-    fn obs_major_row(&self, bits: &[u64], tail_idx: &[usize], out: &mut HeadCounter) {
-        let obs = self.obs();
-        let n = obs.num_attrs();
-        let k = out.k;
-        for (w_idx, &word) in bits.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let o = w_idx * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                let row = obs.row(o);
-                for (h, &v) in row.iter().enumerate() {
-                    out.counts[h * k + (v as usize - 1)] += 1;
-                }
-            }
-        }
-        for h in 0..n {
-            let mut best = 0u32;
-            for c in &mut out.counts[h * k..(h + 1) * k] {
-                if *c > best {
-                    best = *c;
-                }
-                *c = 0;
-            }
-            if !tail_idx.contains(&h) {
-                out.totals[h] += best as u64;
-            }
-        }
+    /// Checks that `out` matches this engine's database dimensions.
+    fn check_counter(&self, out: &HeadCounter) {
+        assert_eq!(
+            out.totals.len(),
+            self.db.num_attrs(),
+            "HeadCounter sized for a different attribute count"
+        );
+        assert_eq!(
+            out.k,
+            self.db.k() as usize,
+            "HeadCounter sized for a different k"
+        );
     }
 
     /// Observation-major sweep for pass 1: the ACVs of the directed edges
@@ -234,58 +482,96 @@ impl<'a> CountingEngine<'a> {
     ///
     /// Iterates each of `a`'s `k` value rows' set observations once and
     /// counts all heads simultaneously off the row-major code matrix —
-    /// `O(k·m/64 + m·(n−1) + k²·(n−1))` per tail versus the bitset path's
-    /// `O((n−1)·k·(k−1)·m/64)`. Produces bit-identical ACVs.
+    /// `O(k·m/64 + m·(n−1) + fold)` per tail versus the bitset path's
+    /// `O((n−1)·k·(k−1)·m/64)`, with the adaptive per-row fold of
+    /// [`HeadCounter`]. Produces bit-identical ACVs.
     pub fn edge_acv_all_heads(&self, a: AttrId, out: &mut HeadCounter) {
-        assert_eq!(
-            out.totals.len(),
-            self.db.num_attrs(),
-            "HeadCounter sized for a different attribute count"
-        );
-        assert_eq!(
-            out.k,
-            self.db.k() as usize,
-            "HeadCounter sized for a different k"
-        );
-        out.begin(self.db.num_obs());
+        self.check_counter(out);
+        let obs = self.obs();
+        out.begin(self.db.num_obs(), [a.index(), usize::MAX]);
         for va in 1..=self.db.k() {
-            if self.idx.count1(a, va) == 0 {
-                continue;
+            let count = self.idx.count1(a, va);
+            let bits = self.idx.bitset(a, va);
+            match count {
+                0 => continue,
+                1 => out.fold_single(),
+                2 => {
+                    let (o1, o2) = first_two_bits(bits);
+                    out.fold_two(obs.row(o1), obs.row(o2));
+                }
+                c if c < out.sparse_cutoff() => {
+                    for_each_bit(bits, |o| out.bump_obs_tracked(obs.row(o)));
+                    out.fold_row_sparse();
+                }
+                _ => {
+                    for_each_bit(bits, |o| out.bump_obs(obs.row(o)));
+                    out.fold_row_dense();
+                }
             }
-            self.obs_major_row(self.idx.bitset(a, va), &[a.index()], out);
         }
+        out.finish();
+    }
+
+    /// Buckets the observations of the pair `{a, b}` by `(v_a, v_b)` row
+    /// into a reusable scratch — the input of
+    /// [`CountingEngine::hyper_acv_all_heads`]. One counting-sort pass
+    /// over the two value columns; no bitset intersections, no per-pair
+    /// allocation once the scratch is warm.
+    pub fn bucket_pair(&self, a: AttrId, b: AttrId, buckets: &mut PairBuckets) {
+        buckets.rebuild(self.db, a, b);
     }
 
     /// Observation-major sweep for pass 2: the ACVs of the 2-to-1
     /// hyperedges `({a,b}, {h})` for **every** head `h ∉ {a,b}` in one
     /// pass, left in `out`.
     ///
-    /// Iterates each of the pair's `k²` cached rows' set observations once
-    /// and counts all heads simultaneously —
-    /// `O(k²·m/64 + m·(n−2) + k³·(n−2))` per pair versus the bitset path's
-    /// `O((n−2)·k²·(k−1)·m/64)`, a `~k³/64`-fold win per head. Produces
-    /// ACVs bit-identical to [`CountingEngine::hyper_acv`].
-    pub fn hyper_acv_all_heads(&self, pair: &PairRows, out: &mut HeadCounter) {
+    /// Sweeps the pair's `k²` observation buckets (no `PairRows`, no
+    /// bitset intersections) and counts all heads simultaneously with the
+    /// adaptive per-row fold of [`HeadCounter`] —
+    /// `O(m·(n−2) + fold)` per pair versus the bitset path's
+    /// `O(k²·m/64 + (n−2)·k²·(k−1)·m/64)`. Produces ACVs bit-identical to
+    /// [`CountingEngine::hyper_acv`].
+    pub fn hyper_acv_all_heads(&self, buckets: &PairBuckets, out: &mut HeadCounter) {
+        self.check_counter(out);
+        let (a, b) = buckets.pair();
+        assert_ne!(a, b, "pair attributes must differ");
         assert_eq!(
-            out.totals.len(),
-            self.db.num_attrs(),
-            "HeadCounter sized for a different attribute count"
-        );
-        assert_eq!(
-            out.k,
+            buckets.k(),
             self.db.k() as usize,
-            "HeadCounter sized for a different k"
+            "PairBuckets built for a different k"
         );
-        let (a, b) = pair.pair();
-        out.begin(self.db.num_obs());
-        for va in 1..=self.db.k() {
-            for vb in 1..=self.db.k() {
-                if pair.row_count(va, vb) == 0 {
-                    continue;
+        assert_eq!(
+            buckets.num_obs(),
+            self.db.num_obs(),
+            "PairBuckets built for a different database"
+        );
+        let obs = self.obs();
+        out.begin(self.db.num_obs(), [a.index(), b.index()]);
+        for r in 0..buckets.num_rows() {
+            let ids = buckets.row(r);
+            match *ids {
+                [] => continue,
+                [_] => out.fold_single(),
+                [o1, o2] => out.fold_two(obs.row(o1 as usize), obs.row(o2 as usize)),
+                _ if ids.len() < out.sparse_cutoff() => {
+                    for &o in ids {
+                        out.bump_obs_tracked(obs.row(o as usize));
+                    }
+                    out.fold_row_sparse();
                 }
-                self.obs_major_row(pair.row_bits(va, vb), &[a.index(), b.index()], out);
+                _ => {
+                    let mut it = ids.chunks_exact(2);
+                    for two in &mut it {
+                        out.bump_obs2(obs.row(two[0] as usize), obs.row(two[1] as usize));
+                    }
+                    if let [o] = *it.remainder() {
+                        out.bump_obs(obs.row(o as usize));
+                    }
+                    out.fold_row_dense();
+                }
             }
         }
+        out.finish();
     }
 
     /// ACV of the directed edge `({a}, {h})` without materializing its
@@ -494,9 +780,11 @@ mod tests {
                 );
             }
         }
+        let mut buckets = PairBuckets::new();
         for (x, y) in [(0u32, 1u32), (0, 2), (1, 2)] {
             let pair = e.pair_rows(a(x), a(y));
-            e.hyper_acv_all_heads(&pair, &mut counter);
+            e.bucket_pair(a(x), a(y), &mut buckets);
+            e.hyper_acv_all_heads(&buckets, &mut counter);
             let h = (0..3u32).find(|&h| h != x && h != y).unwrap();
             assert_eq!(
                 counter.acv(a(h)).to_bits(),
@@ -514,11 +802,95 @@ mod tests {
         e.edge_acv_all_heads(a(0), &mut counter);
         let first = counter.acv(a(2));
         // A different sweep in between must not contaminate the next one.
-        let pair = e.pair_rows(a(0), a(1));
-        e.hyper_acv_all_heads(&pair, &mut counter);
+        let buckets = PairBuckets::build(e.database(), a(0), a(1));
+        e.hyper_acv_all_heads(&buckets, &mut counter);
         e.edge_acv_all_heads(a(0), &mut counter);
         assert_eq!(counter.acv(a(2)).to_bits(), first.to_bits());
         assert_eq!(counter.total(a(2)), (first * 8.0).round() as u64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "swept tail head")]
+    fn tail_head_reads_are_rejected_in_debug_builds() {
+        let d = db();
+        let e = CountingEngine::new(&d);
+        let mut counter = HeadCounter::new(d.num_attrs(), d.k());
+        let buckets = PairBuckets::build(&d, a(0), a(1));
+        e.hyper_acv_all_heads(&buckets, &mut counter);
+        // a(1) is in the swept tail: its total was never accumulated.
+        let _ = counter.acv(a(1));
+    }
+
+    #[test]
+    fn sparse_rows_take_the_dirty_list_path_and_match_naive() {
+        // k = 16 with 3-observation tail rows: 2 < 3 < k/4 = 4, so the
+        // tracked (dirty-list) bump + fold runs for every such row; every
+        // ACV must still match the per-head paths and the naive recount.
+        let x: Vec<Value> = (0..15).map(|o| (o / 3 + 1) as Value).collect();
+        let y: Vec<Value> = (0..15).map(|o| (o % 5 * 3 + 1) as Value).collect();
+        let z: Vec<Value> = (0..15).map(|o| (o * 7 % 16 + 1) as Value).collect();
+        let w: Vec<Value> = (0..15).map(|o| (o % 2 * 15 + 1) as Value).collect();
+        let d = Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into(), "w".into()],
+            16,
+            vec![x, y, z, w],
+        )
+        .unwrap();
+        let e = CountingEngine::new(&d);
+        let attrs: Vec<AttrId> = d.attrs().collect();
+        let mut counter = HeadCounter::new(d.num_attrs(), d.k());
+        for &t in &attrs {
+            e.edge_acv_all_heads(t, &mut counter);
+            for &h in &attrs {
+                if h == t {
+                    continue;
+                }
+                let naive = e.naive_table(&[t], h).acv();
+                assert_eq!(counter.acv(h).to_bits(), naive.to_bits(), "({t:?} -> {h:?})");
+            }
+        }
+        let mut buckets = PairBuckets::new();
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                e.bucket_pair(a, b, &mut buckets);
+                e.hyper_acv_all_heads(&buckets, &mut counter);
+                for &h in &attrs {
+                    if h == a || h == b {
+                        continue;
+                    }
+                    let naive = e.naive_table(&[a, b], h).acv();
+                    assert_eq!(
+                        counter.acv(h).to_bits(),
+                        naive.to_bits(),
+                        "({a:?},{b:?}) -> {h:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns_touch_one_slot_per_head() {
+        // Every column constant: each row sweep touches exactly one counter
+        // slot per head — the minimal dirty list. All-heads sweeps must
+        // still match the per-head paths exactly.
+        let d = Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into()],
+            4,
+            vec![vec![2; 10], vec![4; 10], vec![1; 10]],
+        )
+        .unwrap();
+        let e = CountingEngine::new(&d);
+        let mut counter = HeadCounter::new(d.num_attrs(), d.k());
+        e.edge_acv_all_heads(a(0), &mut counter);
+        assert_eq!(counter.acv(a(1)).to_bits(), e.edge_acv(a(0), a(1)).to_bits());
+        assert_eq!(counter.total(a(2)), 10);
+        let buckets = PairBuckets::build(&d, a(0), a(2));
+        e.hyper_acv_all_heads(&buckets, &mut counter);
+        let pair = e.pair_rows(a(0), a(2));
+        assert_eq!(counter.acv(a(1)).to_bits(), e.hyper_acv(&pair, a(1)).to_bits());
+        assert_eq!(counter.acv(a(1)), 1.0);
     }
 
     #[test]

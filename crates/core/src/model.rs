@@ -75,6 +75,12 @@ pub struct AssociationModel {
 /// stored pair-major, so iterating edges in id order builds each pair once
 /// — and [`ModelTables::tables_for_edges`] groups an arbitrary edge batch
 /// by pair explicitly.
+///
+/// These per-head table paths are the remaining home of [`PairRows`]: the
+/// construction sweep's observation-major pass derives pair rows from
+/// `PairBuckets` instead and never builds bitset intersections, but a
+/// *single* edge's table wants exactly one head counted over cached row
+/// bitsets, which is what `PairRows` is shaped for.
 #[derive(Debug)]
 pub struct ModelTables<'m> {
     model: &'m AssociationModel,

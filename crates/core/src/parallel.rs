@@ -1,12 +1,19 @@
-//! Scoped-thread chunking harness shared by both construction passes.
+//! Scoped-thread harness shared by both construction passes.
 //!
 //! The construction sweeps are embarrassingly parallel over a work list
 //! (tail attributes in pass 1, unordered pairs in pass 2) with results that
 //! must be merged **in work-list order** so edge ids stay deterministic at
-//! every thread count. This helper encodes that contract once: the work
-//! list is split into at most `threads` contiguous chunks, each chunk is
-//! processed by one scoped worker thread, and the per-chunk results are
-//! returned in chunk order.
+//! every thread count. Two splitting policies share that contract:
+//!
+//! - [`parallel_chunks`] — at most `threads` contiguous chunks, one per
+//!   worker. Zero scheduling overhead; right for uniform workloads like
+//!   pass 1's per-tail sweeps.
+//! - [`parallel_blocks`] — work stealing: the list is cut into fixed-size
+//!   blocks and workers claim the next block off an atomic cursor, so a
+//!   thread that drew cheap blocks keeps pulling instead of idling.
+//!   Results are reassembled in block order, which concatenates back to
+//!   the sequential output exactly — determinism holds at every thread
+//!   count and block size.
 
 /// Runs `worker` over contiguous chunks of `items` on up to `threads`
 /// scoped threads, returning the per-chunk results in chunk order
@@ -42,6 +49,72 @@ where
     })
 }
 
+/// Runs workers over fixed-size blocks of `items` (`block` items each,
+/// last block possibly shorter) claimed by up to `threads` scoped workers
+/// off a shared atomic cursor, returning the per-block results **in block
+/// order** — concatenating them reproduces the sequential output exactly,
+/// no matter which worker processed which block.
+///
+/// `make_worker` is called once per worker thread and the returned
+/// closure processes every block that thread claims — per-thread scratch
+/// (counters, bucket buffers) lives in that closure and is reused across
+/// blocks, not reallocated per block.
+///
+/// With `threads <= 1` or a single block the spawns are skipped and one
+/// worker runs the blocks inline in order — no spawn overhead, identical
+/// results.
+pub(crate) fn parallel_blocks<T, R, W, F>(
+    items: &[T],
+    threads: usize,
+    block: usize,
+    make_worker: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: FnMut(&[T]) -> R,
+    F: Fn() -> W + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let block = block.max(1);
+    let num_blocks = items.len().div_ceil(block);
+    let threads = threads.clamp(1, num_blocks);
+    if threads == 1 {
+        let mut worker = make_worker();
+        return items.chunks(block).map(&mut worker).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (cursor, make_worker) = (&cursor, &make_worker);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut worker = make_worker();
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if b >= num_blocks {
+                            break;
+                        }
+                        let lo = b * block;
+                        let hi = (lo + block).min(items.len());
+                        done.push((b, worker(&items[lo..hi])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        let mut tagged: Vec<(usize, R)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("construction worker panicked"))
+            .collect();
+        tagged.sort_unstable_by_key(|&(b, _)| b);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +139,60 @@ mod tests {
     fn single_item_runs_inline() {
         let chunks = parallel_chunks(&[42usize], 8, |slice| slice[0] * 2);
         assert_eq!(chunks, vec![84]);
+    }
+
+    #[test]
+    fn stolen_blocks_arrive_in_block_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            for block in [1, 2, 7, 16, 103, 500] {
+                let blocks =
+                    parallel_blocks(&items, threads, block, || |slice: &[usize]| slice.to_vec());
+                let flat: Vec<usize> = blocks.into_iter().flatten().collect();
+                assert_eq!(flat, items, "threads = {threads}, block = {block}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_block_costs_rebalance_without_reordering() {
+        // Early blocks are far more expensive; stealing must still return
+        // results in block order.
+        let items: Vec<u64> = (0..64).collect();
+        let blocks = parallel_blocks(&items, 4, 4, || {
+            |slice: &[u64]| {
+                if slice[0] < 16 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                slice.iter().sum::<u64>()
+            }
+        });
+        let sums: Vec<u64> = items.chunks(4).map(|c| c.iter().sum()).collect();
+        assert_eq!(blocks, sums);
+    }
+
+    #[test]
+    fn per_thread_worker_scratch_is_reused_across_blocks() {
+        // Each worker counts the blocks it processed in its own scratch;
+        // the per-block results must account for every block exactly once,
+        // and (with one thread) the scratch must persist across all blocks.
+        let items: Vec<usize> = (0..40).collect();
+        let blocks = parallel_blocks(&items, 1, 4, || {
+            let mut seen = 0usize;
+            move |slice: &[usize]| {
+                seen += 1;
+                (seen, slice.len())
+            }
+        });
+        let seen: Vec<usize> = blocks.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seen, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_degenerate_block_inputs() {
+        assert!(parallel_blocks(&[] as &[usize], 4, 8, || |s: &[usize]| s.len()).is_empty());
+        // block = 0 is clamped to 1.
+        let blocks = parallel_blocks(&[1usize, 2, 3], 2, 0, || |s: &[usize]| s[0]);
+        assert_eq!(blocks, vec![1, 2, 3]);
     }
 }

@@ -11,10 +11,11 @@
 //!
 //! That per-head cost grows cubically with `k`, so past roughly
 //! `k²·(k−1) ≈ 64` words stop paying for themselves and the
-//! **observation-major** strategy wins: iterate each tail row's set
-//! observations once (via these same bitsets) and bump per-head value
-//! counters from the row-major `ObsMatrix`, costing `O(k²·m/64 + m·heads)`
-//! per pair independent of `k³`. `hypermine_core`'s counting engine
+//! **observation-major** strategy wins: stream each tail row's
+//! observations once (pass 1 via these bitsets, the pair pass via
+//! `PairBuckets` — no intersections at all) and bump per-head value
+//! counters from the row-major `ObsMatrix`, costing `O(m·heads)` per pair
+//! independent of `k³` and of `m/64`. `hypermine_core`'s counting engine
 //! implements both and its `CountStrategy::Auto` picks by the estimated
 //! cost crossover; see `hypermine_core::counting` for the details.
 

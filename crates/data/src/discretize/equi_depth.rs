@@ -6,8 +6,21 @@ use super::{Discretizer, ThresholdVector};
 ///
 /// A *k-threshold vector* for a series is a `(k−1)`-tuple `⟨a₁, …, a_{k−1}⟩`
 /// such that roughly `1/k` of the entries fall into each bucket. Following
-/// Section 5.1.1 verbatim: sort the series ascending and, for each
-/// `1 ≤ i ≤ k−1`, set `aᵢ` to the `⌊(i/k)·N⌋`'th entry of the sorted list.
+/// Section 5.1.1: sort the series ascending and, for each `1 ≤ i ≤ k−1`,
+/// set `aᵢ` to the entry at index `⌊(i/k)·N⌋` of the sorted list.
+///
+/// **Indexing note (deliberate deviation):** the paper phrases the cut as
+/// "the `⌊(i/k)·N⌋`'th entry", which read against a 1-based list would be
+/// `sorted[⌊(i/k)·N⌋ − 1]`. This implementation indexes the sorted list
+/// 0-based — `sorted[⌊(i/k)·N⌋]`, i.e. the `(⌊(i/k)·N⌋ + 1)`'th entry —
+/// for two reasons: it is total (`⌊(i/k)·N⌋` can be `0` when `N < k`,
+/// where a 1-based list has no 0'th entry), and with the `x ≥ aᵢ` bucket
+/// rule of [`ThresholdVector::apply`] it produces strictly more balanced
+/// buckets (for `N = 300, k = 3` the buckets are 100/100/100 versus the
+/// literal reading's 99/100/101; see the regression tests for `N` not
+/// divisible by `k`). Both readings agree in the limit and on the paper's
+/// qualitative results; the exact bucket counts below are pinned so any
+/// future change to this choice must be conscious.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EquiDepth {
     k: u8,
@@ -43,7 +56,9 @@ impl Discretizer for EquiDepth {
         let n = sorted.len();
         let mut cuts = Vec::with_capacity(k - 1);
         for i in 1..k {
-            let idx = (i * n) / k; // ⌊(i/k)·N⌋
+            // ⌊(i/k)·N⌋, indexed 0-based — see the type-level docs for why
+            // this is one entry past the paper's literal 1-based wording.
+            let idx = (i * n) / k;
             cuts.push(sorted[idx.min(n - 1)]);
         }
         ThresholdVector::new(cuts)
@@ -65,6 +80,38 @@ mod tests {
             counts[(v - 1) as usize] += 1;
         }
         assert_eq!(counts, [100, 100, 100]);
+    }
+
+    #[test]
+    fn indexing_choice_is_pinned_for_n_not_divisible_by_k() {
+        // N = 10, k = 3: cuts at sorted[⌊10/3⌋] = 3 and sorted[⌊20/3⌋] = 6
+        // (0-based) → buckets {0,1,2}, {3,4,5}, {6..9} = 3/3/4. The paper's
+        // literal 1-based reading (sorted[2] = 2, sorted[5] = 5) would give
+        // the strictly less balanced 2/3/5.
+        let col: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ed = EquiDepth::new(3);
+        let tv = ed.fit(&col);
+        assert_eq!(tv.cuts(), &[3.0, 6.0]);
+        let mut counts = [0usize; 3];
+        for v in ed.fit_apply(&col) {
+            counts[(v - 1) as usize] += 1;
+        }
+        assert_eq!(counts, [3, 3, 4]);
+
+        // N = 7, k = 4: cuts at indices 1, 3, 5 → buckets 1/2/2/2.
+        let col: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let ed = EquiDepth::new(4);
+        assert_eq!(ed.fit(&col).cuts(), &[1.0, 3.0, 5.0]);
+        let mut counts = [0usize; 4];
+        for v in ed.fit_apply(&col) {
+            counts[(v - 1) as usize] += 1;
+        }
+        assert_eq!(counts, [1, 2, 2, 2]);
+
+        // N = 2 < k = 3: ⌊(i/k)·N⌋ hits index 0 — well-defined 0-based
+        // (the 1-based paper wording has no 0'th entry to take).
+        let tv = EquiDepth::new(3).fit(&[10.0, 20.0]);
+        assert_eq!(tv.cuts(), &[10.0, 20.0]);
     }
 
     #[test]

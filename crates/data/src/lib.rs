@@ -14,6 +14,9 @@
 //! - [`ObsMatrix`]: the row-major `m × n` transpose backing the
 //!   observation-major counting strategy (stream each observation once,
 //!   count all heads simultaneously);
+//! - [`PairBuckets`]: obs ids grouped by `(v_a, v_b)` row via one
+//!   counting-sort pass — the PairRows-free input of the observation-major
+//!   pair sweep;
 //! - [`discretize`]: equi-depth k-threshold vectors (Section 5.1.1),
 //!   equi-width cuts, fixed cut points, and arbitrary mapping discretizers;
 //! - [`delta_series`]: the fractional-change transform for financial
@@ -48,6 +51,6 @@ mod support;
 
 pub use bitmap::ValueIndex;
 pub use database::{AttrId, Database, DatabaseError, Value};
-pub use obs_matrix::ObsMatrix;
+pub use obs_matrix::{ObsMatrix, PairBuckets};
 pub use delta::{delta_matrix, delta_series};
 pub use support::{confidence, support, support_count, Pattern};

@@ -1,4 +1,4 @@
-//! Row-major observation code matrix.
+//! Row-major observation code matrix and pair-row observation buckets.
 //!
 //! [`Database`] stores columns contiguously, which is what the per-value
 //! bitset strategy wants. The observation-major counting strategy instead
@@ -7,8 +7,16 @@
 //! cache-friendly transpose supporting that access pattern — an `m × n`
 //! byte matrix whose row `o` holds observation `o`'s value for every
 //! attribute, so one sweep touches `n` contiguous bytes per observation.
+//!
+//! [`PairBuckets`] complements it for the pair pass: the observation-major
+//! sweep over a tail pair `{a, b}` only needs to know *which* observations
+//! fall into each `(v_a, v_b)` row, not the row bitsets themselves.
+//! One counting-sort pass over the two value columns groups the `m` obs
+//! ids by row into a reusable CSR layout — `O(m + k²)` with no per-pair
+//! allocation once the scratch is warm, versus the `k²` bitset
+//! intersections (`k²·m/64` words) of a `PairRows` build.
 
-use crate::database::{Database, Value};
+use crate::database::{AttrId, Database, Value};
 
 /// Row-major `m × n` value matrix of a [`Database`]: `row(o)[a.index()]`
 /// is the value of attribute `a` in observation `o`.
@@ -59,6 +67,125 @@ impl ObsMatrix {
     }
 }
 
+/// Observation ids of a tail pair `{a, b}` grouped by `(v_a, v_b)` row —
+/// the PairRows-free input of the observation-major pair sweep.
+///
+/// Rows are stored in one CSR-style layout: `row_obs(va, vb)` is the
+/// ascending slice of obs ids with `a = va ∧ b = vb`. The struct is a
+/// reusable scratch: allocate once per worker thread with
+/// [`PairBuckets::new`] and refill per pair with [`PairBuckets::rebuild`]
+/// (one counting-sort pass over the two value columns, no allocation once
+/// the buffers are warm).
+#[derive(Debug, Clone)]
+pub struct PairBuckets {
+    a: AttrId,
+    b: AttrId,
+    k: usize,
+    /// CSR offsets: row `r` (`r = (v_a−1)·k + (v_b−1)`) spans
+    /// `obs[starts[r] as usize..starts[r + 1] as usize]`.
+    starts: Vec<u32>,
+    /// Obs ids grouped by row, ascending within each row.
+    obs: Vec<u32>,
+    /// Placement cursors for the counting sort (scratch).
+    cursor: Vec<u32>,
+}
+
+impl Default for PairBuckets {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairBuckets {
+    /// An empty scratch; fill it with [`PairBuckets::rebuild`].
+    pub fn new() -> Self {
+        PairBuckets {
+            a: AttrId::new(0),
+            b: AttrId::new(0),
+            k: 0,
+            starts: Vec::new(),
+            obs: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    /// Buckets built for one pair in a fresh scratch.
+    pub fn build(db: &Database, a: AttrId, b: AttrId) -> Self {
+        let mut buckets = Self::new();
+        buckets.rebuild(db, a, b);
+        buckets
+    }
+
+    /// Regroups the scratch for the pair `{a, b}` of `db` (`a ≠ b`):
+    /// one counting-sort pass over the two value columns.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn rebuild(&mut self, db: &Database, a: AttrId, b: AttrId) {
+        assert_ne!(a, b, "pair attributes must differ");
+        let k = db.k() as usize;
+        let m = db.num_obs();
+        assert!(m <= u32::MAX as usize, "obs ids are stored as u32");
+        let (ca, cb) = (db.column(a), db.column(b));
+        self.a = a;
+        self.b = b;
+        self.k = k;
+        self.starts.clear();
+        self.starts.resize(k * k + 1, 0);
+        for (&va, &vb) in ca.iter().zip(cb) {
+            self.starts[(va as usize - 1) * k + (vb as usize - 1) + 1] += 1;
+        }
+        for r in 1..=k * k {
+            self.starts[r] += self.starts[r - 1];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..k * k]);
+        self.obs.clear();
+        self.obs.resize(m, 0);
+        for (o, (&va, &vb)) in ca.iter().zip(cb).enumerate() {
+            let r = (va as usize - 1) * k + (vb as usize - 1);
+            self.obs[self.cursor[r] as usize] = o as u32;
+            self.cursor[r] += 1;
+        }
+    }
+
+    /// The pair these buckets were last built for.
+    #[inline]
+    pub fn pair(&self) -> (AttrId, AttrId) {
+        (self.a, self.b)
+    }
+
+    /// The value-domain size `k` the buckets were last built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of bucketed observations.
+    #[inline]
+    pub fn num_obs(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Number of `(v_a, v_b)` rows (`k²`).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// The ascending obs ids of row index `r` (`r = (v_a−1)·k + (v_b−1)`).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.obs[self.starts[r] as usize..self.starts[r + 1] as usize]
+    }
+
+    /// The ascending obs ids with `a = va ∧ b = vb` (1-based values).
+    #[inline]
+    pub fn row_obs(&self, va: Value, vb: Value) -> &[u32] {
+        self.row((va as usize - 1) * self.k + (vb as usize - 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +217,106 @@ mod tests {
         let m = ObsMatrix::build(&db);
         assert_eq!(m.num_obs(), 0);
         assert_eq!(m.num_attrs(), 1);
+    }
+
+    fn a(i: u32) -> AttrId {
+        AttrId::new(i)
+    }
+
+    #[test]
+    fn pair_buckets_partition_the_observations() {
+        let db = Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[
+                [1, 1, 2],
+                [1, 2, 1],
+                [2, 2, 3],
+                [3, 1, 3],
+                [1, 2, 3],
+                [2, 3, 2],
+                [1, 1, 1],
+                [2, 2, 3],
+            ],
+        )
+        .unwrap();
+        let buckets = PairBuckets::build(&db, a(0), a(1));
+        assert_eq!(buckets.pair(), (a(0), a(1)));
+        assert_eq!(buckets.k(), 3);
+        assert_eq!(buckets.num_rows(), 9);
+        assert_eq!(buckets.num_obs(), db.num_obs());
+        // Rows against the fixture: x=1∧y=1 → obs {0, 6}; x=2∧y=2 → {2, 7}.
+        assert_eq!(buckets.row_obs(1, 1), &[0, 6]);
+        assert_eq!(buckets.row_obs(1, 2), &[1, 4]);
+        assert_eq!(buckets.row_obs(2, 2), &[2, 7]);
+        assert_eq!(buckets.row_obs(3, 3), &[] as &[u32]);
+        // Every observation lands in exactly the row its values name, rows
+        // partition 0..m, and ids ascend within each row.
+        let mut seen = vec![false; db.num_obs()];
+        for r in 0..buckets.num_rows() {
+            let ids = buckets.row(r);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "row {r} not ascending");
+            for &o in ids {
+                let o = o as usize;
+                assert!(!seen[o]);
+                seen[o] = true;
+                let va = db.value(a(0), o) as usize;
+                let vb = db.value(a(1), o) as usize;
+                assert_eq!(r, (va - 1) * 3 + (vb - 1));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pair_buckets_scratch_is_reusable_across_pairs_and_k() {
+        let db1 = Database::from_columns(
+            vec!["x".into(), "y".into()],
+            2,
+            vec![vec![1, 2, 1, 2], vec![2, 2, 1, 1]],
+        )
+        .unwrap();
+        let db2 = Database::from_columns(
+            vec!["x".into(), "y".into()],
+            4,
+            vec![vec![4, 1, 3], vec![1, 4, 2]],
+        )
+        .unwrap();
+        let mut buckets = PairBuckets::new();
+        buckets.rebuild(&db1, a(0), a(1));
+        assert_eq!(buckets.row_obs(1, 2), &[0]);
+        assert_eq!(buckets.row_obs(2, 1), &[3]);
+        // Refill with a larger k: previous contents must not leak through.
+        buckets.rebuild(&db2, a(1), a(0));
+        assert_eq!(buckets.pair(), (a(1), a(0)));
+        assert_eq!(buckets.k(), 4);
+        assert_eq!(buckets.num_rows(), 16);
+        assert_eq!(buckets.row_obs(1, 4), &[0]);
+        assert_eq!(buckets.row_obs(4, 1), &[1]);
+        assert_eq!(buckets.row_obs(2, 3), &[2]);
+        let total: usize = (0..16).map(|r| buckets.row(r).len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn pair_buckets_on_empty_database() {
+        let db = Database::from_columns(
+            vec!["x".into(), "y".into()],
+            2,
+            vec![vec![], vec![]],
+        )
+        .unwrap();
+        let buckets = PairBuckets::build(&db, a(0), a(1));
+        assert_eq!(buckets.num_obs(), 0);
+        for r in 0..buckets.num_rows() {
+            assert!(buckets.row(r).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn pair_buckets_reject_self_pair() {
+        let db = Database::from_columns(vec!["x".into()], 2, vec![vec![1, 2]]).unwrap();
+        PairBuckets::build(&db, a(0), a(0));
     }
 }

@@ -69,16 +69,24 @@ pub struct Histogram {
 
 impl Histogram {
     /// Builds a histogram with `bins` equal-width bins spanning the data
-    /// range. Returns `None` for empty data or `bins == 0`.
+    /// range. Non-finite values are ignored (a single `inf` would make
+    /// every width infinite and a `NaN` bin index silently lands in the
+    /// first bin — the same filtering rule as `EquiDepth::fit`). Returns
+    /// `None` for `bins == 0` or when no finite value remains.
     pub fn from_values(values: &[f64], bins: usize) -> Option<Self> {
-        if values.is_empty() || bins == 0 {
+        if bins == 0 {
             return None;
         }
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let finite = values.iter().copied().filter(|v| v.is_finite());
+        let min = finite.clone().fold(f64::INFINITY, f64::min);
+        let max = finite.clone().fold(f64::NEG_INFINITY, f64::max);
+        if min > max {
+            // No finite values survived the filter.
+            return None;
+        }
         let mut counts = vec![0usize; bins];
         let width = (max - min) / bins as f64;
-        for &v in values {
+        for v in finite {
             let idx = if width == 0.0 {
                 0
             } else {
@@ -185,6 +193,23 @@ mod tests {
         // All-equal values land in bin 0.
         let h = Histogram::from_values(&[2.0, 2.0, 2.0], 4).unwrap();
         assert_eq!(h.counts, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_values() {
+        // inf used to poison max (width inf: everything in bin 0) and NaN
+        // indices silently cast to bin 0 — both are filtered now.
+        let values = [0.0, f64::NAN, 0.6, f64::INFINITY, 1.0, f64::NEG_INFINITY];
+        let h = Histogram::from_values(&values, 2).unwrap();
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1.0);
+        assert_eq!(h.counts, vec![1, 2]); // [0, 0.5): {0.0}; [0.5, 1]: {0.6, 1.0}
+        assert_eq!(h.total(), 3);
+        // Purely non-finite input has no histogram.
+        assert!(Histogram::from_values(&[f64::NAN], 3).is_none());
+        assert!(
+            Histogram::from_values(&[f64::INFINITY, f64::NEG_INFINITY], 3).is_none()
+        );
     }
 
     #[test]

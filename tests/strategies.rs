@@ -6,26 +6,37 @@
 use hypermine::core::{
     AssociationModel, CountStrategy, CountingEngine, HeadCounter, ModelConfig,
 };
-use hypermine::data::{AttrId, Database};
+use hypermine::data::{AttrId, Database, PairBuckets};
 use proptest::prelude::*;
 
 /// Random database over `k ∈ {2, 3, 5, 8}` — the paper's C1/C2 settings
-/// plus the large-k regime the observation-major sweep targets.
+/// plus the large-k regime the observation-major sweep targets. Roughly a
+/// quarter of the columns are forced constant, so pair rows with a single
+/// touched counter slot (the dirty list's minimal case) show up routinely.
 fn db_with_k() -> impl Strategy<Value = Database> {
     (2usize..=5, 5usize..=60, 0usize..4).prop_flat_map(|(n_attrs, n_obs, k_idx)| {
         let k = [2u8, 3, 5, 8][k_idx];
-        proptest::collection::vec(
-            proptest::collection::vec(1..=k, n_obs),
-            n_attrs,
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(1..=k, n_obs),
+                n_attrs,
+            ),
+            proptest::collection::vec(0u8..4, n_attrs),
         )
-        .prop_map(move |cols| {
-            Database::from_columns(
-                (0..cols.len()).map(|i| format!("A{i}")).collect(),
-                k,
-                cols,
-            )
-            .expect("generated values are in range")
-        })
+            .prop_map(move |(mut cols, const_mask)| {
+                for (col, &mask) in cols.iter_mut().zip(&const_mask) {
+                    if mask == 0 {
+                        let v = col[0];
+                        col.fill(v);
+                    }
+                }
+                Database::from_columns(
+                    (0..cols.len()).map(|i| format!("A{i}")).collect(),
+                    k,
+                    cols,
+                )
+                .expect("generated values are in range")
+            })
     })
 }
 
@@ -98,10 +109,12 @@ proptest! {
             }
         }
         if attrs.len() >= 3 {
+            let mut buckets = PairBuckets::new();
             for (i, &a) in attrs.iter().enumerate() {
                 for &b in &attrs[i + 1..] {
                     let pair = engine.pair_rows(a, b);
-                    engine.hyper_acv_all_heads(&pair, &mut counter);
+                    engine.bucket_pair(a, b, &mut buckets);
+                    engine.hyper_acv_all_heads(&buckets, &mut counter);
                     for &h in &attrs {
                         if h == a || h == b {
                             continue;
@@ -111,6 +124,61 @@ proptest! {
                         prop_assert_eq!(counter.acv(h).to_bits(), naive.to_bits());
                     }
                 }
+            }
+        }
+    }
+}
+
+/// All-constant columns: every pair sweep touches exactly one `(v_a, v_b)`
+/// bucket and one counter slot per head — the dirty list's minimal case —
+/// and the whole strategy × thread matrix must still agree bit for bit,
+/// down to the k = 2 minimum.
+#[test]
+fn all_constant_columns_are_bit_identical_across_strategies() {
+    for k in [2u8, 3, 5, 8] {
+        let n_attrs = 5usize;
+        let cols: Vec<Vec<u8>> = (0..n_attrs)
+            .map(|a| vec![(a % k as usize + 1) as u8; 30])
+            .collect();
+        let db = Database::from_columns(
+            (0..n_attrs).map(|i| format!("A{i}")).collect(),
+            k,
+            cols,
+        )
+        .unwrap();
+        // Cross-check the sweeps against the naive recount directly (the
+        // model keeps no edges here — constant heads have baseline 1).
+        let engine = CountingEngine::new(&db);
+        let attrs: Vec<AttrId> = db.attrs().collect();
+        let mut counter = HeadCounter::new(db.num_attrs(), db.k());
+        let mut buckets = PairBuckets::new();
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                engine.bucket_pair(a, b, &mut buckets);
+                engine.hyper_acv_all_heads(&buckets, &mut counter);
+                for &h in &attrs {
+                    if h == a || h == b {
+                        continue;
+                    }
+                    let naive = engine.naive_table(&[a, b], h).acv();
+                    assert_eq!(
+                        counter.acv(h).to_bits(),
+                        naive.to_bits(),
+                        "k = {k}, pair ({a:?}, {b:?}) -> {h:?}"
+                    );
+                    assert_eq!(counter.acv(h), 1.0);
+                }
+            }
+        }
+        let reference = build(&db, CountStrategy::Bitset, 1);
+        for strategy in [CountStrategy::Bitset, CountStrategy::ObsMajor, CountStrategy::Auto] {
+            for threads in [1usize, 3] {
+                let m = build(&db, strategy, threads);
+                assert_identical(
+                    &m,
+                    &reference,
+                    &format!("constant columns, k = {k}, {strategy:?} x {threads}"),
+                );
             }
         }
     }
