@@ -63,41 +63,12 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         raw_edge_acv.extend(chunk);
     }
 
-    // Kept directed edges are known before insertion: size everything once.
-    let edge_kept = |t: AttrId, h: AttrId| {
-        let acv = raw_edge_acv[t.index() * n + h.index()];
-        t != h && acv > 0.0 && acv >= cfg.gamma_edge * baseline[h.index()]
-    };
-    let mut out_deg = vec![0usize; n];
-    let mut in_deg = vec![0usize; n];
-    let mut kept1 = 0usize;
-    for &t in &attrs {
-        for &h in &attrs {
-            if edge_kept(t, h) {
-                kept1 += 1;
-                out_deg[t.index()] += 1;
-                in_deg[h.index()] += 1;
-            }
-        }
-    }
-    let mut graph = DirectedHypergraph::with_capacity(n, kept1);
-    for &a in &attrs {
-        graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
-    }
-    for &t in &attrs {
-        for &h in &attrs {
-            if edge_kept(t, h) {
-                let acv = raw_edge_acv[t.index() * n + h.index()];
-                graph
-                    .add_edge(&[node_of(t)], &[node_of(h)], acv)
-                    .expect("distinct ordered pairs are valid unique edges");
-            }
-        }
-    }
-
     // Pass 2: all (unordered pair, head) combinations, parallel over pairs
-    // (k² rows per pair).
-    if cfg.with_hyperedges && n >= 3 {
+    // (k² rows per pair). The γ₂-kept candidates are collected first; the
+    // graph itself is assembled afterwards through the same `assemble_into`
+    // the streaming engine uses, so batch and incremental edge ids cannot
+    // diverge.
+    let candidates: Vec<(AttrId, AttrId, AttrId, f64)> = if cfg.with_hyperedges && n >= 3 {
         let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
@@ -112,7 +83,7 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         let block = pairs.len().div_ceil(threads * 8).max(1);
         let raw = &raw_edge_acv;
         let (engine, attrs) = (&engine, &attrs);
-        let candidates: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
+        let chunks: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
             parallel_blocks(&pairs, threads, block, || {
                 let mut counter = HeadCounter::new(n, db.k());
                 let mut buckets = PairBuckets::new();
@@ -147,29 +118,23 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
                     out
                 }
             });
-        let kept2: usize = candidates.iter().map(Vec::len).sum();
-        graph.reserve_edges(kept2);
-        out_deg.fill(0);
-        in_deg.fill(0);
-        for (a, b, h, _) in candidates.iter().flatten() {
-            out_deg[a.index()] += 1;
-            out_deg[b.index()] += 1;
-            in_deg[h.index()] += 1;
-        }
-        for &a in attrs {
-            graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
-        }
         // Blocks are fixed contiguous pair ranges returned in block order
-        // no matter which worker claimed them, so appending in order keeps
+        // no matter which worker claimed them, so flattening in order keeps
         // edge ids deterministic regardless of thread count.
-        for chunk in candidates {
-            for (a, b, h, acv) in chunk {
-                graph
-                    .add_edge(&[node_of(a), node_of(b)], &[node_of(h)], acv)
-                    .expect("distinct (pair, head) combinations are valid unique edges");
-            }
-        }
-    }
+        chunks.into_iter().flatten().collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut graph = DirectedHypergraph::new(n);
+    assemble_into(
+        &mut graph,
+        &attrs,
+        &raw_edge_acv,
+        &baseline,
+        cfg.gamma_edge,
+        &candidates,
+    );
 
     AssociationModel {
         graph,
@@ -178,6 +143,85 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         baseline,
         majority,
         raw_edge_acv,
+        cfg: cfg.clone(),
+        epoch: 0,
+        incremental: None,
+    }
+}
+
+/// Whether the directed edge `({t}, {h})` passes the γ₁ test (given the
+/// raw pass-1 ACV matrix and the per-head baselines). Shared by batch
+/// assembly, streaming reassembly, and the streaming kept-mask scan.
+#[inline]
+pub(crate) fn edge_kept(
+    raw_edge_acv: &[f64],
+    baseline: &[f64],
+    gamma_edge: f64,
+    n: usize,
+    t: AttrId,
+    h: AttrId,
+) -> bool {
+    let acv = raw_edge_acv[t.index() * n + h.index()];
+    t != h && acv > 0.0 && acv >= gamma_edge * baseline[h.index()]
+}
+
+/// Fills an **empty** graph with the kept edges of one model state: the
+/// γ₁-kept directed edges in tail-major order, then the already-filtered
+/// 2-to-1 hyperedge candidates in `(pair, head)` order. Both the batch
+/// builder and the streaming engine's per-slide reassembly go through
+/// here, which is what makes their edge ids provably identical: same
+/// input order, same insertion order, same ids.
+///
+/// Capacities are reserved exactly before insertion (the kept set is
+/// known up front), and edges are inserted through the hypergraph's
+/// unchecked bulk path — tails/heads arrive sorted, distinct, and unique
+/// by construction.
+pub(crate) fn assemble_into(
+    graph: &mut DirectedHypergraph,
+    attrs: &[AttrId],
+    raw_edge_acv: &[f64],
+    baseline: &[f64],
+    gamma_edge: f64,
+    candidates: &[(AttrId, AttrId, AttrId, f64)],
+) {
+    let n = attrs.len();
+    debug_assert_eq!(graph.num_edges(), 0, "assemble_into needs an empty graph");
+    debug_assert_eq!(graph.num_nodes(), n);
+    let kept = |t: AttrId, h: AttrId| edge_kept(raw_edge_acv, baseline, gamma_edge, n, t, h);
+
+    // Size everything once: per-node degrees across both passes.
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    let mut kept1 = 0usize;
+    for &t in attrs {
+        for &h in attrs {
+            if kept(t, h) {
+                kept1 += 1;
+                out_deg[t.index()] += 1;
+                in_deg[h.index()] += 1;
+            }
+        }
+    }
+    for (a, b, h, _) in candidates {
+        out_deg[a.index()] += 1;
+        out_deg[b.index()] += 1;
+        in_deg[h.index()] += 1;
+    }
+    graph.reserve_edges(kept1 + candidates.len());
+    for &a in attrs {
+        graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
+    }
+
+    for &t in attrs {
+        for &h in attrs {
+            if kept(t, h) {
+                let acv = raw_edge_acv[t.index() * n + h.index()];
+                graph.add_edge_unchecked(&[node_of(t)], &[node_of(h)], acv);
+            }
+        }
+    }
+    for &(a, b, h, acv) in candidates {
+        graph.add_edge_unchecked(&[node_of(a), node_of(b)], &[node_of(h)], acv);
     }
 }
 

@@ -79,6 +79,11 @@ pub struct ModelConfig {
     /// Counting strategy for both construction passes. [`CountStrategy::Auto`]
     /// resolves per pass by the estimated cost crossover; every choice
     /// yields the same model bit for bit.
+    ///
+    /// This governs **batch** counting (`AssociationModel::build` and the
+    /// one-time state build behind the first `advance`); per-slide
+    /// incremental maintenance has a single counting path whose output is
+    /// bit-identical to every strategy by construction.
     pub strategy: CountStrategy,
 }
 

@@ -34,6 +34,17 @@
 //! lives on for exactly those per-head table paths). A naive recount path
 //! cross-validates both fast paths in tests.
 //!
+//! These are the **batch** counting paths: one pass over a fixed window,
+//! the fastest way to build a model from scratch and the reference the
+//! incremental path must match bit for bit. When the window *slides*
+//! (`AssociationModel::advance`), `crate::incremental` instead maintains
+//! the count tensors across slides and touches only what one
+//! retired/appended observation can change — `O(n²)`–`O(n³)` per slide
+//! versus the batch passes' `O(n²·m)`-and-up, a ≥10× per-slide win on
+//! the bench fixture. Batch wins for one-shot builds and for bulk window
+//! jumps; incremental wins as soon as the same model is slid more than a
+//! couple of observations at a time.
+//!
 //! [`edge_acv_all_heads`]: CountingEngine::edge_acv_all_heads
 //! [`hyper_acv_all_heads`]: CountingEngine::hyper_acv_all_heads
 //! [`PairBuckets`]: hypermine_data::PairBuckets
@@ -120,6 +131,12 @@ pub struct HeadCounter {
     /// The attribute indices of the swept tail (`usize::MAX` padding);
     /// their totals are never accumulated.
     tail: [usize; 2],
+    /// The tail indices sorted ascending — the bump loops iterate the
+    /// head range in up to three segments around them, so tail columns
+    /// are never counted at all (their best counts are never read; at
+    /// `n = 40` the pair pass saves the 2/n ≈ 5% of bump traffic the old
+    /// bump-everything loops spent on them).
+    seg: (usize, usize),
 }
 
 impl HeadCounter {
@@ -136,6 +153,7 @@ impl HeadCounter {
             single_rows: 0,
             totals: vec![0u64; num_attrs],
             tail: [usize::MAX; 2],
+            seg: (usize::MAX, usize::MAX),
         }
     }
 
@@ -160,6 +178,7 @@ impl HeadCounter {
     fn begin(&mut self, num_obs: usize, tail: [usize; 2]) {
         self.num_obs = num_obs;
         self.tail = tail;
+        self.seg = (tail[0].min(tail[1]), tail[0].max(tail[1]));
         self.single_rows = 0;
         self.totals.fill(0);
     }
@@ -182,13 +201,28 @@ impl HeadCounter {
         }
     }
 
-    /// Bumps `counts[head][value]` for every attribute of one observation
-    /// row (dense path — no tracking).
+    /// The up-to-three contiguous head ranges around the swept tail — the
+    /// bump loops iterate these instead of `0..n`, skipping the tail
+    /// columns without a per-head branch.
+    #[inline]
+    fn head_segments(&self, n: usize) -> [(usize, usize); 3] {
+        let (lo, hi) = self.seg;
+        [
+            (0, lo.min(n)),
+            (lo.saturating_add(1).min(n), hi.min(n)),
+            (hi.saturating_add(1).min(n), n),
+        ]
+    }
+
+    /// Bumps `counts[head][value]` for every non-tail attribute of one
+    /// observation row (dense path — no tracking).
     #[inline]
     fn bump_obs(&mut self, row: &[Value]) {
         let k = self.k;
-        for (h, &v) in row.iter().enumerate() {
-            self.counts[h * k + (v as usize - 1)] += 1;
+        for (from, to) in self.head_segments(row.len()) {
+            for (off, &v) in row[from..to].iter().enumerate() {
+                self.counts[(from + off) * k + (v as usize - 1)] += 1;
+            }
         }
     }
 
@@ -200,24 +234,31 @@ impl HeadCounter {
     #[inline]
     fn bump_obs2(&mut self, row_a: &[Value], row_b: &[Value]) {
         let k = self.k;
-        for (h, (&va, &vb)) in row_a.iter().zip(row_b).enumerate() {
-            self.counts[h * k + (va as usize - 1)] += 1;
-            self.counts[h * k + (vb as usize - 1)] += 1;
+        for (from, to) in self.head_segments(row_a.len()) {
+            for (off, (&va, &vb)) in row_a[from..to].iter().zip(&row_b[from..to]).enumerate() {
+                let base = (from + off) * k;
+                self.counts[base + (va as usize - 1)] += 1;
+                self.counts[base + (vb as usize - 1)] += 1;
+            }
         }
     }
 
-    /// Bumps `counts[head][value]` for every attribute of one observation
-    /// row, recording first-touched slots in the dirty list (sparse path).
+    /// Bumps `counts[head][value]` for every non-tail attribute of one
+    /// observation row, recording first-touched slots in the dirty list
+    /// (sparse path).
     #[inline]
     fn bump_obs_tracked(&mut self, row: &[Value]) {
         let k = self.k;
-        for (h, &v) in row.iter().enumerate() {
-            let slot = h * k + (v as usize - 1);
-            let c = self.counts[slot];
-            if c == 0 {
-                self.dirty.push(((h as u64) << 32) | slot as u64);
+        for (from, to) in self.head_segments(row.len()) {
+            for (off, &v) in row[from..to].iter().enumerate() {
+                let h = from + off;
+                let slot = h * k + (v as usize - 1);
+                let c = self.counts[slot];
+                if c == 0 {
+                    self.dirty.push(((h as u64) << 32) | slot as u64);
+                }
+                self.counts[slot] = c + 1;
             }
-            self.counts[slot] = c + 1;
         }
     }
 
@@ -356,7 +397,7 @@ impl HeadCounter {
 
 /// Calls `f` with the index of every set bit of `bits`, ascending.
 #[inline]
-fn for_each_bit(bits: &[u64], mut f: impl FnMut(usize)) {
+pub(crate) fn for_each_bit(bits: &[u64], mut f: impl FnMut(usize)) {
     for (w_idx, &word) in bits.iter().enumerate() {
         let mut word = word;
         while word != 0 {

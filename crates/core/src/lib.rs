@@ -38,6 +38,7 @@ mod classifier;
 mod config;
 mod counting;
 mod euclid;
+mod incremental;
 mod leading;
 mod mining;
 mod model;
@@ -53,6 +54,7 @@ pub use classifier::{
 pub use config::{CountStrategy, ModelConfig};
 pub use counting::{CountingEngine, HeadCounter, PairRows};
 pub use euclid::euclidean_similarity;
+pub use incremental::AdvanceError;
 pub use leading::{
     dominating_adaptation, is_dominator, set_cover_adaptation, DominatorResult, SetCoverOptions,
     StopRule,

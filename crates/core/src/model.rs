@@ -3,6 +3,7 @@
 use crate::builder;
 use crate::config::ModelConfig;
 use crate::counting::{CountingEngine, PairRows};
+use crate::incremental::AdvanceError;
 use crate::table::AssociationTable;
 use hypermine_data::{AttrId, Database, Value};
 use hypermine_hypergraph::{DirectedHypergraph, EdgeId, NodeId};
@@ -62,6 +63,16 @@ pub struct AssociationModel {
     /// including pairs that failed the γ test — needed by the γ test for
     /// 2-to-1 hyperedges and by Table 5.2.
     pub(crate) raw_edge_acv: Vec<f64>,
+    /// The configuration the model was built under; `advance` re-applies
+    /// the same γ tests when the window slides.
+    pub(crate) cfg: ModelConfig,
+    /// Number of [`AssociationModel::advance`] slides applied since the
+    /// batch build (0 for a fresh build).
+    pub(crate) epoch: u64,
+    /// Sliding-window counting state, created lazily by the first
+    /// `advance` call. Boxed: most models are batch-built and never pay
+    /// for it.
+    pub(crate) incremental: Option<Box<crate::incremental::IncrementalState>>,
 }
 
 /// On-demand access to association tables: holds a [`CountingEngine`] over
@@ -164,6 +175,57 @@ impl AssociationModel {
             return Err(BuildError::GammaBelowOne(cfg.gamma_hyper));
         }
         Ok(builder::build(db, cfg))
+    }
+
+    /// Slides the model's observation window one step forward: the oldest
+    /// observation retires, `new_obs` (one value per attribute, each in
+    /// `1..=k`) joins, and the model — kept edges, edge ids, ACVs,
+    /// baselines, raw ACV matrix, training database — is brought to
+    /// exactly the state a fresh [`AssociationModel::build`] over the slid
+    /// window would produce, bit for bit, at a fraction of the cost.
+    ///
+    /// The first call lazily builds the incremental counting state
+    /// (treating the current training database as the full window, so the
+    /// window capacity is `num_obs` at that moment); subsequent slides
+    /// update the pass-1 joint-count tensor in `O(n²)`, recount only the
+    /// two pair rows each slide actually touches for pass 2, and
+    /// reassemble (or weight-patch) the hypergraph in place. See
+    /// `crate::incremental` for the machinery and the cost model.
+    ///
+    /// [`AssociationModel::epoch`] increments by one per slide. On an
+    /// error nothing changes.
+    ///
+    /// Note: advancing a model obtained from
+    /// [`AssociationModel::filter_by_acv`] re-mines the **unfiltered**
+    /// γ-model of the new window (the ACV filter is a derived view, not
+    /// part of the mining configuration); re-apply the filter afterwards
+    /// if needed.
+    pub fn advance(&mut self, new_obs: &[Value]) -> Result<(), AdvanceError> {
+        let mut state = match self.incremental.take() {
+            Some(state) => state,
+            None => Box::new(crate::incremental::IncrementalState::new(
+                &self.db, &self.cfg,
+            )?),
+        };
+        // The state validates before mutating anything, so on a rejected
+        // row it is unchanged — keep it either way (rebuilding it costs
+        // a few batch builds).
+        let result = state.advance(self, new_obs);
+        self.incremental = Some(state);
+        result?;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Number of [`AssociationModel::advance`] slides applied since the
+    /// batch build (0 for a fresh build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configuration the model was built under.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
     }
 
     /// The underlying weighted directed hypergraph (weights are ACVs).
@@ -270,6 +332,12 @@ impl AssociationModel {
             baseline: self.baseline.clone(),
             majority: self.majority.clone(),
             raw_edge_acv: self.raw_edge_acv.clone(),
+            cfg: self.cfg.clone(),
+            epoch: self.epoch,
+            // The filtered graph's edge ids no longer correspond to the
+            // kept-candidate order, so any later `advance` must start from
+            // a fresh incremental state (and re-mines unfiltered).
+            incremental: None,
         }
     }
 

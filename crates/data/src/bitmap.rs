@@ -18,6 +18,17 @@
 //! independent of `k³` and of `m/64`. `hypermine_core`'s counting engine
 //! implements both and its `CountStrategy::Auto` picks by the estimated
 //! cost crossover; see `hypermine_core::counting` for the details.
+//!
+//! Both of those are **batch** builds over a fixed window. For a
+//! **sliding** window the index is maintained *incrementally* instead:
+//! [`ValueIndex::with_capacity`] starts an all-empty index over physical
+//! ring slots, and [`ValueIndex::set_obs`] / [`ValueIndex::clear_obs`]
+//! flip exactly one observation's bit per attribute in `O(n)` — the
+//! retired observation's slot is reused by the appended one, so no other
+//! bit moves. Support counts are order-invariant, which is why
+//! slot-indexed counting matches a chronological batch build bit for bit
+//! (see `hypermine_data::WindowedDatabase` and
+//! `hypermine_core`'s incremental engine).
 
 use crate::database::{AttrId, Database, Value};
 
@@ -52,6 +63,45 @@ impl ValueIndex {
             num_obs,
             words,
             bits,
+        }
+    }
+
+    /// An all-empty index sized for `num_attrs` attributes over values
+    /// `1..=k` and observation ids `0..num_obs` — the starting point for
+    /// **incremental** maintenance: a sliding window sets and clears one
+    /// observation's bits per slide ([`ValueIndex::set_obs`] /
+    /// [`ValueIndex::clear_obs`]) instead of rebuilding the index.
+    pub fn with_capacity(num_attrs: usize, k: Value, num_obs: usize) -> Self {
+        let k = k as usize;
+        let words = num_obs.div_ceil(64);
+        ValueIndex {
+            k,
+            num_obs,
+            words,
+            bits: vec![0u64; num_attrs * k * words],
+        }
+    }
+
+    /// Sets observation `o`'s bit in every attribute's value bitset
+    /// (`row[a]` is the value of attribute `a`). `O(n)` — one word write
+    /// per attribute.
+    pub fn set_obs(&mut self, o: usize, row: &[Value]) {
+        debug_assert!(o < self.num_obs, "observation id out of range");
+        for (a, &v) in row.iter().enumerate() {
+            debug_assert!(v >= 1 && (v as usize) <= self.k);
+            let base = (a * self.k + (v as usize - 1)) * self.words;
+            self.bits[base + o / 64] |= 1u64 << (o % 64);
+        }
+    }
+
+    /// Clears observation `o`'s bit in every attribute's value bitset;
+    /// `row` must be the same values the observation was set with.
+    pub fn clear_obs(&mut self, o: usize, row: &[Value]) {
+        debug_assert!(o < self.num_obs, "observation id out of range");
+        for (a, &v) in row.iter().enumerate() {
+            debug_assert!(v >= 1 && (v as usize) <= self.k);
+            let base = (a * self.k + (v as usize - 1)) * self.words;
+            self.bits[base + o / 64] &= !(1u64 << (o % 64));
         }
     }
 
@@ -220,6 +270,44 @@ mod tests {
         assert_eq!(idx.words(), 1);
         assert_eq!(idx.count1(a(0), 1), 32);
         assert_eq!(idx.count1(a(0), 2), 32);
+    }
+
+    #[test]
+    fn incremental_set_and_clear_match_a_batch_build() {
+        let d = db();
+        let batch = ValueIndex::build(&d);
+        let mut inc = ValueIndex::with_capacity(d.num_attrs(), d.k(), d.num_obs());
+        let mut row = vec![0; d.num_attrs()];
+        for o in 0..d.num_obs() {
+            for at in d.attrs() {
+                row[at.index()] = d.value(at, o);
+            }
+            inc.set_obs(o, &row);
+        }
+        for at in d.attrs() {
+            for v in 1..=d.k() {
+                assert_eq!(inc.bitset(at, v), batch.bitset(at, v));
+            }
+        }
+        // Clearing an observation removes exactly its bits.
+        for at in d.attrs() {
+            row[at.index()] = d.value(at, 3);
+        }
+        inc.clear_obs(3, &row);
+        for at in d.attrs() {
+            for v in 1..=d.k() {
+                let expected = batch.count1(at, v)
+                    - usize::from(d.value(at, 3) == v);
+                assert_eq!(inc.count1(at, v), expected, "{at:?} = {v}");
+            }
+        }
+        // Re-setting restores the batch state exactly.
+        inc.set_obs(3, &row);
+        for at in d.attrs() {
+            for v in 1..=d.k() {
+                assert_eq!(inc.bitset(at, v), batch.bitset(at, v));
+            }
+        }
     }
 
     #[test]

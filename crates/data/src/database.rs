@@ -37,7 +37,8 @@ impl fmt::Display for AttrId {
     }
 }
 
-/// Errors raised while constructing a [`Database`].
+/// Errors raised while constructing a [`Database`] or mutating a
+/// [`crate::WindowedDatabase`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DatabaseError {
     /// A value was 0 or exceeded `k`.
@@ -46,12 +47,17 @@ pub enum DatabaseError {
         obs: usize,
         value: Value,
     },
-    /// Column lengths disagree.
+    /// Column lengths disagree (or an appended observation row had the
+    /// wrong number of values).
     RaggedColumns { expected: usize, got: usize },
     /// The number of names differs from the number of columns.
     NameCountMismatch { names: usize, columns: usize },
     /// `k` was zero.
     ZeroK,
+    /// A windowed database was asked to append beyond its capacity.
+    WindowFull { capacity: usize },
+    /// A windowed database was created with zero capacity.
+    ZeroCapacity,
 }
 
 impl fmt::Display for DatabaseError {
@@ -68,6 +74,12 @@ impl fmt::Display for DatabaseError {
                 write!(f, "{names} names given for {columns} columns")
             }
             DatabaseError::ZeroK => write!(f, "k (the value-domain size) must be at least 1"),
+            DatabaseError::WindowFull { capacity } => {
+                write!(f, "window already holds its capacity of {capacity} observations")
+            }
+            DatabaseError::ZeroCapacity => {
+                write!(f, "window capacity must be at least 1")
+            }
         }
     }
 }
@@ -128,6 +140,27 @@ impl Database {
             num_obs,
             columns,
         })
+    }
+
+    /// Builds a database from parts whose invariants are already
+    /// established (equal column lengths, values in `1..=k`, one name per
+    /// column) — the materialization path of [`crate::WindowedDatabase`],
+    /// whose ring already validated every appended observation.
+    pub(crate) fn from_validated_parts(
+        names: Vec<String>,
+        k: Value,
+        num_obs: usize,
+        columns: Vec<Vec<Value>>,
+    ) -> Self {
+        debug_assert_eq!(names.len(), columns.len());
+        debug_assert!(columns.iter().all(|c| c.len() == num_obs));
+        debug_assert!(columns.iter().flatten().all(|&v| v >= 1 && v <= k));
+        Database {
+            names,
+            k,
+            num_obs,
+            columns,
+        }
     }
 
     /// Builds a database from observation rows (each row one value per
@@ -201,10 +234,52 @@ impl Database {
             .map(|i| AttrId::new(i as u32))
     }
 
+    /// Appends one observation row (one value per attribute, each in
+    /// `1..=k`). The streaming model uses this (with
+    /// [`Database::retire_oldest_obs`]) to slide its training database in
+    /// place instead of rematerializing it.
+    pub fn append_obs(&mut self, row: &[Value]) -> Result<(), DatabaseError> {
+        if row.len() != self.columns.len() {
+            return Err(DatabaseError::RaggedColumns {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (attr, &v) in row.iter().enumerate() {
+            if v == 0 || v > self.k {
+                return Err(DatabaseError::ValueOutOfRange {
+                    attr,
+                    obs: self.num_obs,
+                    value: v,
+                });
+            }
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.num_obs += 1;
+        Ok(())
+    }
+
+    /// Removes the oldest observation (row 0); no-op on an empty
+    /// database. `O(n·m)` — one memmove per column.
+    pub fn retire_oldest_obs(&mut self) {
+        if self.num_obs == 0 {
+            return;
+        }
+        for col in &mut self.columns {
+            col.remove(0);
+        }
+        self.num_obs -= 1;
+    }
+
     /// A new database containing only observations `range` (e.g. an
-    /// in-sample/out-sample split of a time-indexed database).
+    /// in-sample/out-sample split of a time-indexed database, or the
+    /// window a streaming model currently covers). Out-of-range and
+    /// inverted ranges are clamped to the valid empty/partial slice.
     pub fn slice_obs(&self, range: std::ops::Range<usize>) -> Database {
-        let range = range.start.min(self.num_obs)..range.end.min(self.num_obs);
+        let end = range.end.min(self.num_obs);
+        let range = range.start.min(end)..end;
         Database {
             names: self.names.clone(),
             k: self.k,
@@ -338,12 +413,92 @@ mod tests {
     }
 
     #[test]
+    // Inverted ranges are constructed on purpose: callers computing
+    // window bounds can produce them, and slice_obs must clamp.
+    #[allow(clippy::reversed_empty_ranges)]
+    fn slicing_edge_cases() {
+        let d = db();
+        // Empty range.
+        let s = d.slice_obs(2..2);
+        assert_eq!(s.num_obs(), 0);
+        assert_eq!(s.num_attrs(), 2);
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.attr_names(), d.attr_names());
+        // Full range reproduces the database exactly.
+        assert_eq!(d.slice_obs(0..d.num_obs()), d);
+        // Inverted range clamps to empty instead of panicking.
+        let s = d.slice_obs(3..1);
+        assert_eq!(s.num_obs(), 0);
+        // Inverted range beyond the end also clamps.
+        assert_eq!(d.slice_obs(99..1).num_obs(), 0);
+    }
+
+    #[test]
     fn selecting_attributes() {
         let d = db();
         let s = d.select_attrs(&[AttrId::new(1)]);
         assert_eq!(s.num_attrs(), 1);
         assert_eq!(s.attr_name(AttrId::new(0)), "y");
         assert_eq!(s.column(AttrId::new(0)), &[2, 2, 1, 2]);
+    }
+
+    #[test]
+    fn selecting_attributes_edge_cases() {
+        let d = db();
+        // Empty selection keeps shape metadata.
+        let s = d.select_attrs(&[]);
+        assert_eq!(s.num_attrs(), 0);
+        assert_eq!(s.k(), 3);
+        // num_obs is preserved even with no columns to witness it.
+        assert_eq!(s.num_obs(), d.num_obs());
+        // Out-of-order selection reorders names and columns together.
+        let s = d.select_attrs(&[AttrId::new(1), AttrId::new(0)]);
+        assert_eq!(s.attr_names(), &["y".to_string(), "x".to_string()]);
+        assert_eq!(s.column(AttrId::new(0)), d.column(AttrId::new(1)));
+        assert_eq!(s.column(AttrId::new(1)), d.column(AttrId::new(0)));
+        // Repeated selection duplicates the column.
+        let s = d.select_attrs(&[AttrId::new(0), AttrId::new(0)]);
+        assert_eq!(s.num_attrs(), 2);
+        assert_eq!(s.column(AttrId::new(0)), s.column(AttrId::new(1)));
+        // Full identity selection reproduces the database.
+        let all: Vec<AttrId> = d.attrs().collect();
+        assert_eq!(d.select_attrs(&all), d);
+    }
+
+    #[test]
+    fn append_and_retire_slide_in_place() {
+        let mut d = db();
+        let orig = d.clone();
+        d.append_obs(&[3, 1]).unwrap();
+        assert_eq!(d.num_obs(), 5);
+        assert_eq!(d.column(AttrId::new(0)), &[1, 2, 3, 1, 3]);
+        d.retire_oldest_obs();
+        assert_eq!(d.num_obs(), 4);
+        assert_eq!(d.column(AttrId::new(0)), &[2, 3, 1, 3]);
+        assert_eq!(d.column(AttrId::new(1)), &[2, 1, 2, 1]);
+        // Validation failures leave the database unchanged.
+        assert!(d.append_obs(&[1]).is_err());
+        assert!(d.append_obs(&[0, 1]).is_err());
+        assert!(d.append_obs(&[1, 4]).is_err());
+        assert_eq!(d.num_obs(), 4);
+        // Slide equivalence with slice + rebuild.
+        let mut slid = orig.clone();
+        slid.retire_oldest_obs();
+        slid.append_obs(&[3, 1]).unwrap();
+        let mut cols: Vec<Vec<Value>> = (0..2)
+            .map(|a| orig.column(AttrId::new(a)).to_vec())
+            .collect();
+        for (a, col) in cols.iter_mut().enumerate() {
+            col.remove(0);
+            col.push([3, 1][a]);
+        }
+        let expect =
+            Database::from_columns(orig.attr_names().to_vec(), orig.k(), cols).unwrap();
+        assert_eq!(slid, expect);
+        // Retiring an empty database is a no-op.
+        let mut empty = Database::from_columns(vec!["x".into()], 2, vec![vec![]]).unwrap();
+        empty.retire_oldest_obs();
+        assert_eq!(empty.num_obs(), 0);
     }
 
     #[test]

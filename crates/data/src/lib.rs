@@ -17,10 +17,16 @@
 //! - [`PairBuckets`]: obs ids grouped by `(v_a, v_b)` row via one
 //!   counting-sort pass — the PairRows-free input of the observation-major
 //!   pair sweep;
+//! - [`WindowedDatabase`]: a fixed-capacity sliding window over
+//!   ring-buffered columns (`append_obs`/`retire_oldest`/`advance`) — the
+//!   data-layer half of the streaming model lifecycle, paired with
+//!   incremental `ValueIndex`/`ObsMatrix` maintenance
+//!   (`set_obs`/`clear_obs`/`set_row`);
 //! - [`discretize`]: equi-depth k-threshold vectors (Section 5.1.1),
 //!   equi-width cuts, fixed cut points, and arbitrary mapping discretizers;
-//! - [`delta_series`]: the fractional-change transform for financial
-//!   time-series (Section 5.1.1).
+//! - [`delta_series`] / [`try_delta_series`]: the fractional-change
+//!   transform for financial time-series (Section 5.1.1), with a checked
+//!   variant that rejects non-positive prices.
 //!
 //! ```
 //! use hypermine_data::{Database, AttrId, support, confidence};
@@ -48,9 +54,11 @@ mod delta;
 pub mod discretize;
 mod obs_matrix;
 mod support;
+mod windowed;
 
 pub use bitmap::ValueIndex;
 pub use database::{AttrId, Database, DatabaseError, Value};
 pub use obs_matrix::{ObsMatrix, PairBuckets};
-pub use delta::{delta_matrix, delta_series};
+pub use delta::{delta_matrix, delta_series, try_delta_matrix, try_delta_series, DeltaError};
 pub use support::{confidence, support, support_count, Pattern};
+pub use windowed::WindowedDatabase;

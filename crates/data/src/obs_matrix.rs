@@ -48,6 +48,26 @@ impl ObsMatrix {
         }
     }
 
+    /// An all-zero matrix for `num_obs` observation slots of `num_attrs`
+    /// attributes — the starting point for **incremental** maintenance: a
+    /// sliding window overwrites one observation's row per slide
+    /// ([`ObsMatrix::set_row`]) instead of re-transposing the database.
+    /// Rows read before they were set hold the invalid value 0.
+    pub fn with_capacity(num_attrs: usize, num_obs: usize) -> Self {
+        ObsMatrix {
+            num_attrs,
+            num_obs,
+            codes: vec![0 as Value; num_attrs * num_obs],
+        }
+    }
+
+    /// Overwrites observation `o`'s row (`row[a]` is attribute `a`'s
+    /// value). `O(n)` — one contiguous byte copy.
+    pub fn set_row(&mut self, o: usize, row: &[Value]) {
+        assert_eq!(row.len(), self.num_attrs, "row has wrong arity");
+        self.codes[o * self.num_attrs..(o + 1) * self.num_attrs].copy_from_slice(row);
+    }
+
     /// Number of attributes `n` (row width).
     #[inline]
     pub fn num_attrs(&self) -> usize {
@@ -217,6 +237,31 @@ mod tests {
         let m = ObsMatrix::build(&db);
         assert_eq!(m.num_obs(), 0);
         assert_eq!(m.num_attrs(), 1);
+    }
+
+    #[test]
+    fn incremental_row_writes_match_a_batch_transpose() {
+        let db = Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[[1, 2, 3], [3, 1, 2], [2, 2, 1]],
+        )
+        .unwrap();
+        let batch = ObsMatrix::build(&db);
+        let mut inc = ObsMatrix::with_capacity(3, 3);
+        assert_eq!(inc.row(1), &[0, 0, 0], "unset rows hold the invalid 0");
+        for o in 0..3 {
+            let row: Vec<Value> = db.attrs().map(|a| db.value(a, o)).collect();
+            inc.set_row(o, &row);
+        }
+        for o in 0..3 {
+            assert_eq!(inc.row(o), batch.row(o));
+        }
+        // Overwriting replaces exactly one row.
+        inc.set_row(1, &[1, 1, 1]);
+        assert_eq!(inc.row(1), &[1, 1, 1]);
+        assert_eq!(inc.row(0), batch.row(0));
+        assert_eq!(inc.row(2), batch.row(2));
     }
 
     fn a(i: u32) -> AttrId {

@@ -65,6 +65,41 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// A sorted node set stored inline when it has at most two members.
+///
+/// The association layer only ever builds tails of one or two nodes and
+/// single-node heads, and the streaming model reassembles tens of
+/// thousands of edges *per slide* — a `Box<[NodeId]>` per set would make
+/// edge insertion allocation-bound. Sets of three or more nodes (the
+/// general Definition 2.9 shape) spill to the heap.
+///
+/// Construction is canonical (a one-element set duplicates its node into
+/// the unused inline slot), so the derived `PartialEq` is set equality.
+#[derive(Debug, Clone, PartialEq)]
+enum NodeSet {
+    Inline(u8, [NodeId; 2]),
+    Heap(Box<[NodeId]>),
+}
+
+impl NodeSet {
+    /// Wraps an already-sorted, duplicate-free slice.
+    fn from_sorted(set: &[NodeId]) -> Self {
+        match *set {
+            [a] => NodeSet::Inline(1, [a, a]),
+            [a, b] => NodeSet::Inline(2, [a, b]),
+            _ => NodeSet::Heap(set.into()),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            NodeSet::Inline(len, nodes) => &nodes[..*len as usize],
+            NodeSet::Heap(nodes) => nodes,
+        }
+    }
+}
+
 /// A weighted directed hyperedge `(T, H)`.
 ///
 /// Invariants (enforced by [`crate::DirectedHypergraph::add_edge`]):
@@ -72,26 +107,31 @@ impl fmt::Display for EdgeId {
 /// free.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hyperedge {
-    tail: Box<[NodeId]>,
-    head: Box<[NodeId]>,
+    tail: NodeSet,
+    head: NodeSet,
     weight: f64,
 }
 
 impl Hyperedge {
-    pub(crate) fn new_unchecked(tail: Box<[NodeId]>, head: Box<[NodeId]>, weight: f64) -> Self {
-        Hyperedge { tail, head, weight }
+    /// Builds an edge from already-sorted, duplicate-free, disjoint sets.
+    pub(crate) fn new_unchecked(tail: &[NodeId], head: &[NodeId], weight: f64) -> Self {
+        Hyperedge {
+            tail: NodeSet::from_sorted(tail),
+            head: NodeSet::from_sorted(head),
+            weight,
+        }
     }
 
     /// The tail (source) set, sorted ascending.
     #[inline]
     pub fn tail(&self) -> &[NodeId] {
-        &self.tail
+        self.tail.as_slice()
     }
 
     /// The head (destination) set, sorted ascending.
     #[inline]
     pub fn head(&self) -> &[NodeId] {
-        &self.head
+        self.head.as_slice()
     }
 
     /// The edge weight (an ACV in the association-mining layer).
@@ -107,45 +147,45 @@ impl Hyperedge {
     /// `|T|`, the tail cardinality.
     #[inline]
     pub fn tail_len(&self) -> usize {
-        self.tail.len()
+        self.tail().len()
     }
 
     /// `|H|`, the head cardinality.
     #[inline]
     pub fn head_len(&self) -> usize {
-        self.head.len()
+        self.head().len()
     }
 
     /// True if `v ∈ T`.
     #[inline]
     pub fn tail_contains(&self, v: NodeId) -> bool {
-        self.tail.binary_search(&v).is_ok()
+        self.tail().binary_search(&v).is_ok()
     }
 
     /// True if `v ∈ H`.
     #[inline]
     pub fn head_contains(&self, v: NodeId) -> bool {
-        self.head.binary_search(&v).is_ok()
+        self.head().binary_search(&v).is_ok()
     }
 
     /// True if this is a plain directed edge (`|T| = |H| = 1`).
     #[inline]
     pub fn is_simple(&self) -> bool {
-        self.tail.len() == 1 && self.head.len() == 1
+        self.tail_len() == 1 && self.head_len() == 1
     }
 }
 
 impl fmt::Display for Hyperedge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({{")?;
-        for (i, t) in self.tail.iter().enumerate() {
+        for (i, t) in self.tail().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
             write!(f, "{t}")?;
         }
         write!(f, "}} -> {{")?;
-        for (i, h) in self.head.iter().enumerate() {
+        for (i, h) in self.head().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -171,8 +211,8 @@ mod tests {
     #[test]
     fn edge_accessors() {
         let e = Hyperedge::new_unchecked(
-            vec![NodeId::new(0), NodeId::new(2)].into(),
-            vec![NodeId::new(5)].into(),
+            &[NodeId::new(0), NodeId::new(2)],
+            &[NodeId::new(5)],
             0.25,
         );
         assert_eq!(e.tail_len(), 2);
@@ -187,11 +227,22 @@ mod tests {
 
     #[test]
     fn simple_edge_detection() {
-        let e = Hyperedge::new_unchecked(
-            vec![NodeId::new(1)].into(),
-            vec![NodeId::new(2)].into(),
-            1.0,
-        );
+        let e = Hyperedge::new_unchecked(&[NodeId::new(1)], &[NodeId::new(2)], 1.0);
         assert!(e.is_simple());
+    }
+
+    #[test]
+    fn large_sets_spill_to_the_heap_and_compare_equal() {
+        let big: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let e = Hyperedge::new_unchecked(&big, &[NodeId::new(9)], 0.5);
+        assert_eq!(e.tail(), &big[..]);
+        assert_eq!(e.tail_len(), 5);
+        assert!(e.tail_contains(NodeId::new(4)));
+        let e2 = Hyperedge::new_unchecked(&big, &[NodeId::new(9)], 0.5);
+        assert_eq!(e, e2);
+        // One-node sets are canonical regardless of construction path.
+        let a = Hyperedge::new_unchecked(&[NodeId::new(3)], &[NodeId::new(4)], 1.0);
+        let b = Hyperedge::new_unchecked(&[NodeId::new(3)], &[NodeId::new(4)], 1.0);
+        assert_eq!(a, b);
     }
 }

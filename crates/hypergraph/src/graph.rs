@@ -43,6 +43,20 @@ impl std::error::Error for HypergraphError {}
 /// Key identifying an edge by its `(tail, head)` node sets (both sorted).
 type EdgeKey = (Box<[NodeId]>, Box<[NodeId]>);
 
+/// One edge to add via [`DirectedHypergraph::splice_edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeInsert {
+    /// The id the edge must hold after the splice (strictly ascending
+    /// across one batch).
+    pub new_id: EdgeId,
+    /// Sorted, duplicate-free tail set, disjoint from `head`.
+    pub tail: Vec<NodeId>,
+    /// Sorted, duplicate-free head set.
+    pub head: Vec<NodeId>,
+    /// Finite edge weight.
+    pub weight: f64,
+}
+
 /// A weighted directed hypergraph over a fixed node range `0..num_nodes`.
 ///
 /// Maintains incidence indexes in both directions:
@@ -51,14 +65,49 @@ type EdgeKey = (Box<[NodeId]>, Box<[NodeId]>);
 ///
 /// plus an exact-match index from `(tail, head)` to [`EdgeId`], used heavily
 /// by the association-similarity computation (switching one node of a tail or
-/// head and asking whether the resulting hyperedge exists).
-#[derive(Debug, Clone, Default)]
+/// head and asking whether the resulting hyperedge exists). The exact-match
+/// index is built **lazily** on the first lookup: bulk construction (the
+/// association builder and the per-slide streaming reassembly) inserts tens
+/// of thousands of edges via [`DirectedHypergraph::add_edge_unchecked`] and
+/// never pays for hashing them; once built, the index is kept in sync by
+/// every subsequent insertion.
+#[derive(Debug, Default)]
 pub struct DirectedHypergraph {
     num_nodes: usize,
+    /// Stable edge slab: an edge's slot never moves while it lives, so
+    /// [`DirectedHypergraph::splice_edges`] renumbers ids by rearranging
+    /// the (memcpy-friendly) `order` vector instead of moving edges.
+    /// Slots of removed edges are recycled via `free`.
     edges: Vec<Hyperedge>,
+    /// `order[id] = slot` — edge ids are positions in this vector.
+    order: Vec<u32>,
+    /// Recyclable slab slots of removed edges.
+    free: Vec<u32>,
     out_edges: Vec<Vec<EdgeId>>,
     in_edges: Vec<Vec<EdgeId>>,
-    index: FxHashMap<EdgeKey, EdgeId>,
+    index: std::sync::OnceLock<FxHashMap<EdgeKey, EdgeId>>,
+    /// Double buffer for [`DirectedHypergraph::splice_edges`]'s order
+    /// rebuild — per-slide splices reuse its allocation.
+    order_scratch: Vec<u32>,
+}
+
+impl Clone for DirectedHypergraph {
+    fn clone(&self) -> Self {
+        let index = std::sync::OnceLock::new();
+        if let Some(map) = self.index.get() {
+            let _ = index.set(map.clone());
+        }
+        DirectedHypergraph {
+            num_nodes: self.num_nodes,
+            edges: self.edges.clone(),
+            order: self.order.clone(),
+            free: self.free.clone(),
+            out_edges: self.out_edges.clone(),
+            in_edges: self.in_edges.clone(),
+            index,
+            order_scratch: Vec::new(),
+        }
+    }
 }
 
 impl DirectedHypergraph {
@@ -67,9 +116,12 @@ impl DirectedHypergraph {
         DirectedHypergraph {
             num_nodes,
             edges: Vec::new(),
+            order: Vec::new(),
+            free: Vec::new(),
             out_edges: vec![Vec::new(); num_nodes],
             in_edges: vec![Vec::new(); num_nodes],
-            index: FxHashMap::default(),
+            index: std::sync::OnceLock::new(),
+            order_scratch: Vec::new(),
         }
     }
 
@@ -77,15 +129,272 @@ impl DirectedHypergraph {
     pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
         let mut g = Self::new(num_nodes);
         g.edges.reserve(num_edges);
-        g.index.reserve(num_edges);
+        g.order.reserve(num_edges);
         g
     }
 
-    /// Reserves room for `additional` more edges in the edge store and the
-    /// exact-match index (bulk insertion after a counting sweep).
+    /// Reserves room for `additional` more edges in the edge store.
     pub fn reserve_edges(&mut self, additional: usize) {
         self.edges.reserve(additional);
-        self.index.reserve(additional);
+        self.order.reserve(additional);
+    }
+
+    /// Removes every edge while keeping the node range and the allocations
+    /// of the edge store and both incidence indexes — the streaming model
+    /// reassembles its graph in place once per slide.
+    pub fn reset_edges(&mut self) {
+        self.edges.clear();
+        self.order.clear();
+        self.free.clear();
+        for star in &mut self.out_edges {
+            star.clear();
+        }
+        for star in &mut self.in_edges {
+            star.clear();
+        }
+        self.index = std::sync::OnceLock::new();
+    }
+
+    /// Applies a sorted batch of edge removals and insertions while
+    /// renumbering the surviving edges as if the final sequence had been
+    /// inserted from scratch — the streaming model's way of tracking a
+    /// slightly-changed kept-edge set without rebuilding the graph.
+    ///
+    /// `removes` are **pre-splice** ids, strictly ascending; each
+    /// `inserts` entry lands at exactly its **post-splice** id, strictly
+    /// ascending, with the same invariants as
+    /// [`DirectedHypergraph::add_edge_unchecked`]. The result is
+    /// identical to rebuilding with the merged edge sequence, but costs
+    /// `O(ops · star)` for the touched edges plus one contiguous
+    /// id-shift pass over the incidence lists and one pass over the edge
+    /// store.
+    pub fn splice_edges(&mut self, removes: &[EdgeId], inserts: &[EdgeInsert]) {
+        if removes.is_empty() && inserts.is_empty() {
+            return;
+        }
+        debug_assert!(removes.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(inserts.windows(2).all(|w| w[0].new_id < w[1].new_id));
+        let old_len = self.order.len();
+
+        // 1. Drop the removed edges' incidence entries (pre-splice ids).
+        for &id in removes {
+            let slot = self.slot(id);
+            for s in 0..self.edges[slot].tail_len() {
+                let t = self.edges[slot].tail()[s];
+                let star = &mut self.out_edges[t.index()];
+                let pos = star.binary_search(&id).expect("incidence entry exists");
+                star.remove(pos);
+            }
+            for s in 0..self.edges[slot].head_len() {
+                let h = self.edges[slot].head()[s];
+                let star = &mut self.in_edges[h.index()];
+                let pos = star.binary_search(&id).expect("incidence entry exists");
+                star.remove(pos);
+            }
+        }
+
+        // 2. The piecewise old→new id mapping of surviving edges: regions
+        // of constant shift, delimited by the splice positions — built in
+        // `O(ops)` by merging the two op streams. A removal at old id `r`
+        // lowers the shift of every later survivor; an insertion at
+        // post-splice id `q` raises the shift of survivors from old
+        // position `q − delta` on (ties only affect removed ids, which no
+        // longer appear in any star).
+        let mut regions: Vec<(usize, usize, i64)> = Vec::new();
+        {
+            let mut bounds: Vec<(usize, i64)> = Vec::with_capacity(removes.len() + inserts.len());
+            let (mut i_rm, mut i_in) = (0usize, 0usize);
+            let mut delta = 0i64;
+            loop {
+                let next_rm = removes.get(i_rm).map(|r| r.index());
+                let next_in = inserts
+                    .get(i_in)
+                    .map(|q| (q.new_id.index() as i64 - delta) as usize);
+                let (pos, is_remove) = match (next_rm, next_in) {
+                    (None, None) => break,
+                    (Some(r), None) => (r, true),
+                    (None, Some(q)) => (q, false),
+                    (Some(r), Some(q)) => {
+                        if r <= q {
+                            (r, true)
+                        } else {
+                            (q, false)
+                        }
+                    }
+                };
+                let start = if is_remove {
+                    delta -= 1;
+                    i_rm += 1;
+                    pos + 1
+                } else {
+                    delta += 1;
+                    i_in += 1;
+                    pos
+                };
+                match bounds.last_mut() {
+                    Some((s, d)) if *s == start => *d = delta,
+                    _ => bounds.push((start, delta)),
+                }
+            }
+            let mut prev = (0usize, 0i64);
+            for &(start, d) in &bounds {
+                if start > prev.0 {
+                    regions.push((prev.0, start, prev.1));
+                }
+                prev = (start.max(prev.0), d);
+            }
+            regions.push((prev.0, old_len.max(prev.0), prev.1));
+            #[cfg(debug_assertions)]
+            {
+                // Cross-check against the O(old_len) simulation.
+                let (mut i_rm, mut i_in, mut out_pos) = (0usize, 0usize, 0usize);
+                for o in 0..old_len {
+                    if i_rm < removes.len() && removes[i_rm].index() == o {
+                        i_rm += 1;
+                        continue;
+                    }
+                    while i_in < inserts.len() && inserts[i_in].new_id.index() == out_pos {
+                        out_pos += 1;
+                        i_in += 1;
+                    }
+                    let delta = out_pos as i64 - o as i64;
+                    let region = regions
+                        .iter()
+                        .find(|&&(s, e, _)| o >= s && o < e)
+                        .unwrap_or_else(|| panic!("old id {o} not covered"));
+                    debug_assert_eq!(region.2, delta, "shift of old id {o}");
+                    out_pos += 1;
+                }
+            }
+        }
+
+        // 3. Shift surviving ids star by star. With few splice points,
+        // binary-search each shifted region's subrange per star (entries
+        // below the first change are untouched); with many, one merged
+        // two-pointer walk per star costs `O(star + regions)`.
+        let first_change = regions
+            .iter()
+            .find(|&&(_, _, d)| d != 0)
+            .map(|&(s, _, _)| s)
+            .unwrap_or(usize::MAX);
+        for star in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            let lo = star.partition_point(|id| id.index() < first_change);
+            let tail = &mut star[lo..];
+            if tail.is_empty() {
+                continue;
+            }
+            // Binary-searching region bounds beats a linear merge only
+            // when regions are much scarcer than surviving entries.
+            if regions.len() * 16 < tail.len() {
+                let mut cursor = 0usize;
+                for &(start, end, delta) in &regions {
+                    if end <= first_change {
+                        continue;
+                    }
+                    let a = cursor + tail[cursor..].partition_point(|id| id.index() < start);
+                    let b = a + tail[a..].partition_point(|id| id.index() < end);
+                    cursor = b;
+                    if delta != 0 {
+                        for id in &mut tail[a..b] {
+                            *id = EdgeId::new((id.index() as i64 + delta) as u32);
+                        }
+                    }
+                }
+            } else {
+                let mut r = 0usize;
+                for id in tail.iter_mut() {
+                    let o = id.index();
+                    while r < regions.len() && o >= regions[r].1 {
+                        r += 1;
+                    }
+                    debug_assert!(
+                        r < regions.len() && o >= regions[r].0,
+                        "surviving incidence id lies in some region"
+                    );
+                    let delta = regions[r].2;
+                    if delta != 0 {
+                        *id = EdgeId::new((o as i64 + delta) as u32);
+                    }
+                }
+            }
+        }
+
+        // 4. Splice the order vector. Edges themselves never move —
+        // removed edges free their slab slot, inserted ones fill freed
+        // slots — and surviving runs between splice points are copied
+        // with `extend_from_slice` (plain `u32` memcpy) into the double
+        // buffer.
+        for &id in removes {
+            self.free.push(self.order[id.index()]);
+        }
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        order.reserve(old_len - removes.len() + inserts.len());
+        {
+            let (mut i_rm, mut i_in) = (0usize, 0usize);
+            let mut o = 0usize;
+            loop {
+                while i_in < inserts.len() && inserts[i_in].new_id.index() == order.len() {
+                    let ins = &inserts[i_in];
+                    let e = Hyperedge::new_unchecked(&ins.tail, &ins.head, ins.weight);
+                    let slot = self.alloc_slot(e);
+                    order.push(slot);
+                    i_in += 1;
+                }
+                if o >= old_len {
+                    break;
+                }
+                // Copy the surviving run up to the next splice point.
+                let next_rm = removes
+                    .get(i_rm)
+                    .map(|r| r.index())
+                    .unwrap_or(old_len);
+                let next_in = inserts
+                    .get(i_in)
+                    .map(|q| o + (q.new_id.index() - order.len()))
+                    .unwrap_or(old_len);
+                let end = next_rm.min(next_in).min(old_len);
+                order.extend_from_slice(&self.order[o..end]);
+                o = end;
+                if o == next_rm && o < old_len {
+                    // Slot already freed above; skip the removed id.
+                    o += 1;
+                    i_rm += 1;
+                }
+            }
+            debug_assert_eq!(i_in, inserts.len(), "insert ids must be dense");
+        }
+        self.order_scratch = std::mem::replace(&mut self.order, order);
+
+        // 5. Register the inserted edges' incidence (post-splice ids).
+        for ins in inserts {
+            debug_assert!(ins.weight.is_finite());
+            debug_assert!(ins.tail.windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(ins.head.windows(2).all(|w| w[0] < w[1]));
+            for &t in &ins.tail {
+                let star = &mut self.out_edges[t.index()];
+                let pos = star.partition_point(|id| *id < ins.new_id);
+                star.insert(pos, ins.new_id);
+            }
+            for &h in &ins.head {
+                let star = &mut self.in_edges[h.index()];
+                let pos = star.partition_point(|id| *id < ins.new_id);
+                star.insert(pos, ins.new_id);
+            }
+        }
+        self.index = std::sync::OnceLock::new();
+    }
+
+    /// The exact-match index, built on first use (`O(|E|)` once).
+    fn index_map(&self) -> &FxHashMap<EdgeKey, EdgeId> {
+        self.index.get_or_init(|| {
+            let mut map = FxHashMap::default();
+            map.reserve(self.order.len());
+            for (id, e) in self.edges() {
+                map.insert((e.tail().into(), e.head().into()), id);
+            }
+            map
+        })
     }
 
     /// Reserves room for `additional` more incident edge ids in node `v`'s
@@ -104,7 +413,29 @@ impl DirectedHypergraph {
     /// Number of directed hyperedges `|E|`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.order.len()
+    }
+
+    /// The slab slot of edge `id`.
+    #[inline]
+    fn slot(&self, id: EdgeId) -> usize {
+        self.order[id.index()] as usize
+    }
+
+    /// Stores `e` in a free slab slot (recycling removed edges' slots)
+    /// and returns the slot.
+    #[inline]
+    fn alloc_slot(&mut self, e: Hyperedge) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.edges[s as usize] = e;
+                s
+            }
+            None => {
+                self.edges.push(e);
+                (self.edges.len() - 1) as u32
+            }
+        }
     }
 
     /// All node ids, in order.
@@ -114,16 +445,16 @@ impl DirectedHypergraph {
 
     /// All `(EdgeId, &Hyperedge)` pairs, in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge)> + '_ {
-        self.edges
+        self.order
             .iter()
             .enumerate()
-            .map(|(i, e)| (EdgeId::new(i as u32), e))
+            .map(|(i, &s)| (EdgeId::new(i as u32), &self.edges[s as usize]))
     }
 
     /// The edge with the given id. Panics if out of range.
     #[inline]
     pub fn edge(&self, id: EdgeId) -> &Hyperedge {
-        &self.edges[id.index()]
+        &self.edges[self.slot(id)]
     }
 
     /// Forward star: ids of edges whose tail contains `v`.
@@ -182,29 +513,61 @@ impl DirectedHypergraph {
                 std::cmp::Ordering::Equal => return Err(HypergraphError::Overlap(tail[i])),
             }
         }
-        let key: EdgeKey = (tail, head);
-        if let Some(&existing) = self.index.get(&key) {
+        if let Some(&existing) = self.index_map().get(&(tail.clone(), head.clone())) {
             return Err(HypergraphError::DuplicateEdge(existing));
         }
-        let (tail, head) = key;
-        Ok(self.push_edge_unchecked(tail, head, weight))
+        Ok(self.push_edge_unchecked(&tail, &head, weight))
     }
 
-    /// Inserts an edge whose invariants are already established — `tail` and
-    /// `head` sorted, duplicate-free, disjoint, in range, `weight` finite,
-    /// and no edge with this `(tail, head)` key present. Used to copy edges
-    /// out of an already-valid hypergraph without re-sorting and
-    /// re-validating them.
-    fn push_edge_unchecked(&mut self, tail: Box<[NodeId]>, head: Box<[NodeId]>, weight: f64) -> EdgeId {
-        let id = EdgeId::new(self.edges.len() as u32);
+    /// Inserts an edge whose invariants are **promised by the caller** —
+    /// `tail` and `head` sorted ascending, duplicate-free, disjoint, in
+    /// range, `weight` finite, and no edge with this `(tail, head)` pair
+    /// present. Skips the per-edge sort, validation, and duplicate lookup
+    /// of [`DirectedHypergraph::add_edge`]; the invariants are still
+    /// asserted in debug builds. This is the bulk-insertion path of the
+    /// association builder and of the streaming model's per-slide graph
+    /// reassembly.
+    pub fn add_edge_unchecked(&mut self, tail: &[NodeId], head: &[NodeId], weight: f64) -> EdgeId {
+        debug_assert!(weight.is_finite(), "edge weight must be finite");
+        debug_assert!(
+            !tail.is_empty() && !head.is_empty(),
+            "tail and head must be non-empty"
+        );
+        debug_assert!(
+            tail.windows(2).all(|w| w[0] < w[1]) && head.windows(2).all(|w| w[0] < w[1]),
+            "sets must be sorted and duplicate-free"
+        );
+        debug_assert!(
+            tail.iter().chain(head).all(|v| v.index() < self.num_nodes),
+            "nodes must be in range"
+        );
+        debug_assert!(
+            tail.iter().all(|t| head.binary_search(t).is_err()),
+            "tail and head must be disjoint"
+        );
+        debug_assert!(
+            self.find_edge(tail, head).is_none(),
+            "an edge with this (tail, head) already exists"
+        );
+        self.push_edge_unchecked(tail, head, weight)
+    }
+
+    /// Inserts an edge whose invariants are already established. If the
+    /// exact-match index has been built, it is kept in sync; otherwise no
+    /// hashing happens at all.
+    fn push_edge_unchecked(&mut self, tail: &[NodeId], head: &[NodeId], weight: f64) -> EdgeId {
+        let id = EdgeId::new(self.order.len() as u32);
         for &t in tail.iter() {
             self.out_edges[t.index()].push(id);
         }
         for &h in head.iter() {
             self.in_edges[h.index()].push(id);
         }
-        self.index.insert((tail.clone(), head.clone()), id);
-        self.edges.push(Hyperedge::new_unchecked(tail, head, weight));
+        if let Some(map) = self.index.get_mut() {
+            map.insert((tail.into(), head.into()), id);
+        }
+        let slot = self.alloc_slot(Hyperedge::new_unchecked(tail, head, weight));
+        self.order.push(slot);
         id
     }
 
@@ -215,7 +578,7 @@ impl DirectedHypergraph {
         let mut h: Vec<NodeId> = head.to_vec();
         t.sort_unstable();
         h.sort_unstable();
-        self.index
+        self.index_map()
             .get(&(t.into_boxed_slice(), h.into_boxed_slice()))
             .copied()
     }
@@ -230,7 +593,8 @@ impl DirectedHypergraph {
         if !weight.is_finite() {
             return Err(HypergraphError::NonFiniteWeight);
         }
-        self.edges[id.index()].set_weight(weight);
+        let slot = self.slot(id);
+        self.edges[slot].set_weight(weight);
         Ok(())
     }
 
@@ -281,7 +645,7 @@ impl DirectedHypergraph {
         let mut g = DirectedHypergraph::new(self.num_nodes);
         for (id, e) in self.edges() {
             if pred(id, e) {
-                g.push_edge_unchecked(e.tail().into(), e.head().into(), e.weight());
+                g.push_edge_unchecked(e.tail(), e.head(), e.weight());
             }
         }
         g
@@ -299,10 +663,10 @@ impl DirectedHypergraph {
     /// This implements the paper's "top X% directed hyperedges w.r.t. ACVs"
     /// threshold selection (Section 5.4).
     pub fn weight_percentile_threshold(&self, fraction: f64) -> Option<f64> {
-        if self.edges.is_empty() || fraction <= 0.0 {
+        if self.order.is_empty() || fraction <= 0.0 {
             return None;
         }
-        let mut ws: Vec<f64> = self.edges.iter().map(|e| e.weight()).collect();
+        let mut ws: Vec<f64> = self.edges().map(|(_, e)| e.weight()).collect();
         ws.sort_unstable_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
         let keep = ((ws.len() as f64 * fraction).ceil() as usize).clamp(1, ws.len());
         Some(ws[keep - 1])
@@ -310,15 +674,15 @@ impl DirectedHypergraph {
 
     /// Total edge weight.
     pub fn total_weight(&self) -> f64 {
-        self.edges.iter().map(|e| e.weight()).sum()
+        self.edges().map(|(_, e)| e.weight()).sum()
     }
 
     /// Mean edge weight, or `None` if there are no edges.
     pub fn mean_weight(&self) -> Option<f64> {
-        if self.edges.is_empty() {
+        if self.order.is_empty() {
             None
         } else {
-            Some(self.total_weight() / self.edges.len() as f64)
+            Some(self.total_weight() / self.order.len() as f64)
         }
     }
 }
@@ -421,6 +785,194 @@ mod tests {
         assert_eq!(DirectedHypergraph::new(2).weight_percentile_threshold(0.5), None);
         // fraction > 1 keeps everything.
         assert_eq!(g.weight_percentile_threshold(2.0), Some(0.2));
+    }
+
+    #[test]
+    fn unchecked_insertion_and_lazy_index_agree() {
+        let mut g = DirectedHypergraph::new(4);
+        let e0 = g.add_edge_unchecked(&[n(0), n(1)], &[n(2)], 0.4);
+        let e1 = g.add_edge_unchecked(&[n(3)], &[n(0)], 0.2);
+        assert_eq!(g.num_edges(), 2);
+        // The exact-match index is built on the first lookup.
+        assert_eq!(g.find_edge(&[n(1), n(0)], &[n(2)]), Some(e0));
+        assert_eq!(g.find_edge(&[n(3)], &[n(0)]), Some(e1));
+        // Insertions after the index is built keep it in sync.
+        let e2 = g.add_edge_unchecked(&[n(1)], &[n(3)], 0.9);
+        assert_eq!(g.find_edge(&[n(1)], &[n(3)]), Some(e2));
+        assert_eq!(
+            g.add_edge(&[n(1)], &[n(3)], 0.9),
+            Err(HypergraphError::DuplicateEdge(e2))
+        );
+        assert_eq!(g.out_edges(n(1)), &[e0, e2]);
+    }
+
+    #[test]
+    fn reset_edges_keeps_nodes_and_clears_everything_else() {
+        let mut g = DirectedHypergraph::new(3);
+        g.add_edge(&[n(0)], &[n(1)], 0.5).unwrap();
+        assert!(g.find_edge(&[n(0)], &[n(1)]).is_some());
+        g.reset_edges();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(g.out_edges(n(0)).is_empty());
+        assert!(g.in_edges(n(1)).is_empty());
+        assert_eq!(g.find_edge(&[n(0)], &[n(1)]), None);
+        // Refilling restarts ids at 0; lookups see only the new edges.
+        let e = g.add_edge(&[n(1)], &[n(2)], 0.7).unwrap();
+        assert_eq!(e, EdgeId::new(0));
+        assert_eq!(g.find_edge(&[n(1)], &[n(2)]), Some(e));
+    }
+
+    #[test]
+    fn splice_edges_matches_a_from_scratch_rebuild() {
+        // Deterministic pseudo-random edge soups; every splice result is
+        // compared edge-for-edge (ids, sets, weights, incidence) against
+        // a graph rebuilt from the expected final sequence.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let nodes = 6;
+            // Base edge list: distinct (tail, head) combos.
+            let mut combos = Vec::new();
+            for t in 0..nodes as u32 {
+                for h in 0..nodes as u32 {
+                    if t != h {
+                        combos.push((vec![n(t)], vec![n(h)]));
+                        for t2 in (t + 1)..nodes as u32 {
+                            if t2 != h {
+                                combos.push((vec![n(t), n(t2)], vec![n(h)]));
+                            }
+                        }
+                    }
+                }
+            }
+            let base_len = 10 + (rng() % 20) as usize;
+            let base: Vec<_> = (0..base_len)
+                .map(|i| {
+                    let (t, h) = combos[i % combos.len()].clone();
+                    (t, h, (i + 1) as f64 / 100.0)
+                })
+                .collect();
+            let mut g = DirectedHypergraph::new(nodes);
+            for (t, h, w) in &base {
+                g.add_edge_unchecked(t, h, *w);
+            }
+            // Random removal set (pre-splice ids, ascending).
+            let removes: Vec<EdgeId> = (0..base_len)
+                .filter(|_| rng() % 3 == 0)
+                .map(|i| EdgeId::new(i as u32))
+                .collect();
+            let removes: Vec<EdgeId> = removes
+                .into_iter()
+                .filter(|id| id.index() < base_len)
+                .collect();
+            // Expected survivor sequence, then random insertions woven in
+            // at random final positions.
+            let mut expected: Vec<(Vec<NodeId>, Vec<NodeId>, f64)> = base
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removes.iter().any(|r| r.index() == *i))
+                .map(|(_, e)| e.clone())
+                .collect();
+            let n_ins = (rng() % 4) as usize;
+            let mut inserts = Vec::new();
+            for x in 0..n_ins {
+                let (t, h) = combos[combos.len() - 1 - x].clone();
+                let pos = (rng() as usize) % (expected.len() + 1);
+                expected.insert(pos, (t, h, 7.5 + x as f64));
+            }
+            // Re-derive insert ops from the expected sequence (their final
+            // positions must be ascending, so walk the expected list).
+            for (pos, (t, h, w)) in expected.iter().enumerate() {
+                if *w >= 7.5 {
+                    inserts.push(EdgeInsert {
+                        new_id: EdgeId::new(pos as u32),
+                        tail: t.clone(),
+                        head: h.clone(),
+                        weight: *w,
+                    });
+                }
+            }
+            g.splice_edges(&removes, &inserts);
+            assert_eq!(g.num_edges(), expected.len(), "round {round}");
+            let mut rebuilt = DirectedHypergraph::new(nodes);
+            for (t, h, w) in &expected {
+                rebuilt.add_edge_unchecked(t, h, *w);
+            }
+            for (id, e) in rebuilt.edges() {
+                let s = g.edge(id);
+                assert_eq!(e.tail(), s.tail(), "round {round}, {id}");
+                assert_eq!(e.head(), s.head(), "round {round}, {id}");
+                assert_eq!(e.weight(), s.weight(), "round {round}, {id}");
+            }
+            for v in 0..nodes as u32 {
+                assert_eq!(
+                    g.out_edges(n(v)),
+                    rebuilt.out_edges(n(v)),
+                    "round {round}, out star of {v}"
+                );
+                assert_eq!(
+                    g.in_edges(n(v)),
+                    rebuilt.in_edges(n(v)),
+                    "round {round}, in star of {v}"
+                );
+            }
+            // The lazy index matches the spliced structure too.
+            for (id, e) in g.edges() {
+                assert_eq!(g.find_edge(e.tail(), e.head()), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn splice_edges_noop_and_pure_cases() {
+        let mut g = DirectedHypergraph::new(3);
+        let e0 = g.add_edge(&[n(0)], &[n(1)], 0.1).unwrap();
+        g.add_edge(&[n(1)], &[n(2)], 0.2).unwrap();
+        let e2 = g.add_edge(&[n(2)], &[n(0)], 0.3).unwrap();
+        g.splice_edges(&[], &[]);
+        assert_eq!(g.num_edges(), 3);
+        // Pure removal: survivors shift down.
+        g.splice_edges(&[EdgeId::new(1)], &[]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(e0).weight(), 0.1);
+        assert_eq!(g.edge(EdgeId::new(1)).weight(), 0.3);
+        assert_eq!(g.in_edges(n(0)), &[EdgeId::new(1)]);
+        assert!(g.out_edges(n(1)).is_empty());
+        // Pure insertion in the middle: survivors shift up.
+        g.splice_edges(
+            &[],
+            &[EdgeInsert {
+                new_id: EdgeId::new(1),
+                tail: vec![n(0)],
+                head: vec![n(2)],
+                weight: 0.9,
+            }],
+        );
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge(EdgeId::new(1)).weight(), 0.9);
+        assert_eq!(g.edge(e2).weight(), 0.3);
+        assert_eq!(g.out_edges(n(0)), &[e0, EdgeId::new(1)]);
+        assert_eq!(g.in_edges(n(0)), &[EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn clone_preserves_edges_with_or_without_built_index() {
+        let mut g = DirectedHypergraph::new(3);
+        let e0 = g.add_edge_unchecked(&[n(0)], &[n(1)], 0.5);
+        // Clone before the index exists…
+        let unindexed = g.clone();
+        assert_eq!(unindexed.find_edge(&[n(0)], &[n(1)]), Some(e0));
+        // …and after it was built.
+        assert!(g.find_edge(&[n(0)], &[n(1)]).is_some());
+        let indexed = g.clone();
+        assert_eq!(indexed.find_edge(&[n(0)], &[n(1)]), Some(e0));
+        assert_eq!(indexed.num_edges(), 1);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod stats;
 mod traversal;
 
 pub use edge::{EdgeId, Hyperedge, NodeId};
-pub use graph::{DirectedHypergraph, HypergraphError};
+pub use graph::{DirectedHypergraph, EdgeInsert, HypergraphError};
 pub use traversal::{b_reachable, one_step_cover};

@@ -8,8 +8,31 @@ use crate::model::Market;
 use hypermine_data::discretize::{
     apply_thresholds, discretize_columns, EquiDepth, ThresholdVector,
 };
-use hypermine_data::{Database, Value};
+use hypermine_data::{try_delta_matrix, Database, DatabaseError, DeltaError, Value};
+use std::fmt;
 use std::ops::Range;
+
+/// Errors raised by [`discretize_prices`] — the loader-facing pipeline
+/// entry, which must report bad external data instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriceError {
+    /// A price is zero, negative, or not finite.
+    Price(DeltaError),
+    /// The input shape is invalid: symbol/series count mismatch, ragged
+    /// series (e.g. missing trading days in one ticker), or `k = 0`.
+    Shape(DatabaseError),
+}
+
+impl fmt::Display for PriceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriceError::Price(e) => write!(f, "{e}"),
+            PriceError::Shape(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PriceError {}
 
 /// A discretized market: the database plus the fitted per-ticker threshold
 /// vectors (needed to discretize held-out data on the same scale).
@@ -46,6 +69,36 @@ pub fn discretize_market(
         database,
         thresholds,
     }
+}
+
+/// Discretizes a raw price matrix (e.g. loaded via [`crate::csv::read_csv`])
+/// the same way [`discretize_market`] treats simulated prices: delta
+/// transform, then per-series equi-depth partitioning into `1..=k`.
+///
+/// This is the loader-facing entry point, so everything external data can
+/// get wrong is reported as an error instead of panicking: the **checked**
+/// delta transform rejects zero, negative, and non-finite prices (which
+/// would poison the discretizer with `inf`/`NaN` deltas), and shape
+/// problems — symbol/series count mismatch, ragged series, `k = 0` —
+/// surface as [`PriceError::Shape`]. (The CSV parser already rejects bad
+/// prices; data arriving by other routes gets the same guarantees here.)
+pub fn discretize_prices(
+    symbols: Vec<String>,
+    k: Value,
+    prices: &[Vec<f64>],
+) -> Result<DiscretizedMarket, PriceError> {
+    if k == 0 {
+        // EquiDepth::new panics on k = 0; report it like every other
+        // shape problem instead.
+        return Err(PriceError::Shape(DatabaseError::ZeroK));
+    }
+    let deltas = try_delta_matrix(prices).map_err(PriceError::Price)?;
+    let (database, thresholds) =
+        discretize_columns(symbols, k, &deltas, &EquiDepth::new(k)).map_err(PriceError::Shape)?;
+    Ok(DiscretizedMarket {
+        database,
+        thresholds,
+    })
 }
 
 impl DiscretizedMarket {
@@ -130,6 +183,64 @@ mod tests {
             test.attr_name(AttrId::new(0)),
             train.database.attr_name(AttrId::new(0))
         );
+    }
+
+    #[test]
+    fn price_loader_path_discretizes_and_validates() {
+        let m = market();
+        // The loader path on valid prices matches the market path exactly.
+        let via_market = discretize_market(&m, 3, None);
+        let via_prices = discretize_prices(
+            m.universe().symbols(),
+            3,
+            m.prices(),
+        )
+        .unwrap();
+        assert_eq!(via_prices.database, via_market.database);
+        // Zero and negative prices are rejected with their location
+        // instead of producing inf/NaN deltas.
+        let mut bad = m.prices().to_vec();
+        bad[4][10] = 0.0;
+        match discretize_prices(m.universe().symbols(), 3, &bad) {
+            Err(PriceError::Price(e)) => {
+                assert_eq!((e.series, e.index, e.price), (4, 10, 0.0));
+            }
+            other => panic!("expected a price error, got {other:?}"),
+        }
+        bad[4][10] = -12.5;
+        match discretize_prices(m.universe().symbols(), 3, &bad) {
+            Err(PriceError::Price(e)) => assert_eq!(e.price, -12.5),
+            other => panic!("expected a price error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn price_loader_reports_shape_errors_instead_of_panicking() {
+        // Symbol/series count mismatch.
+        let err = discretize_prices(vec!["A".into()], 3, &[vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PriceError::Shape(hypermine_data::DatabaseError::NameCountMismatch { .. })
+        ));
+        // Ragged series (a ticker with missing trading days).
+        let err = discretize_prices(
+            vec!["A".into(), "B".into()],
+            3,
+            &[vec![1.0, 2.0, 3.0], vec![1.0, 2.0]],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PriceError::Shape(hypermine_data::DatabaseError::RaggedColumns { .. })
+        ));
+        // k = 0 is a shape error too, and the messages render.
+        let err = discretize_prices(vec!["A".into()], 0, &[vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            PriceError::Shape(hypermine_data::DatabaseError::ZeroK)
+        ));
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

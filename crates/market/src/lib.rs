@@ -27,7 +27,7 @@ mod model;
 mod sector;
 mod universe;
 
-pub use dataset::{discretize_market, DiscretizedMarket};
+pub use dataset::{discretize_market, discretize_prices, DiscretizedMarket, PriceError};
 pub use model::{correlation, Market, SimConfig, TickerParams};
 pub use sector::Sector;
 pub use universe::{Ticker, Universe, PAPER_TICKERS};

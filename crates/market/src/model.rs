@@ -312,8 +312,14 @@ impl Market {
     }
 
     /// Delta (fractional-change) series per ticker; length `n_days - 1`.
+    ///
+    /// Uses the checked transform: the simulator floors every daily return
+    /// at −50% precisely so prices stay positive, and this is where that
+    /// invariant is enforced rather than silently producing `inf`/`NaN`
+    /// deltas if it ever broke.
     pub fn deltas(&self) -> Vec<Vec<f64>> {
-        hypermine_data::delta_matrix(&self.prices)
+        hypermine_data::try_delta_matrix(&self.prices)
+            .expect("simulated prices are positive by construction")
     }
 
     /// Pearson correlation of the delta series of tickers `i` and `j`

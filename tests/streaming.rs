@@ -1,0 +1,229 @@
+//! Sliding-window lifecycle: `AssociationModel::advance` must produce a
+//! model **bit-identical** to a full `AssociationModel::build` over the
+//! equivalent `slice_obs` window — same edge ids, same kept-edge sets,
+//! bit-identical ACVs/baselines/raw matrices — across k ∈ {3, 5, 8},
+//! all counting strategies, and thread counts {1, 3}, at every step of
+//! the stream.
+
+use hypermine::core::{AdvanceError, AssociationModel, CountStrategy, ModelConfig};
+use hypermine::data::{Database, Value, WindowedDatabase};
+use proptest::prelude::*;
+
+/// Asserts full model equivalence: hypergraph (ids, sets, weights bit
+/// for bit), baselines, majorities, raw ACV matrix, and the training
+/// database itself.
+fn assert_identical(adv: &AssociationModel, batch: &AssociationModel, what: &str) {
+    assert_eq!(
+        adv.hypergraph().num_edges(),
+        batch.hypergraph().num_edges(),
+        "{what}: edge count"
+    );
+    for (id, e) in batch.hypergraph().edges() {
+        let o = adv.hypergraph().edge(id);
+        assert_eq!(e.tail(), o.tail(), "{what}: tail of {id}");
+        assert_eq!(e.head(), o.head(), "{what}: head of {id}");
+        assert_eq!(
+            e.weight().to_bits(),
+            o.weight().to_bits(),
+            "{what}: ACV of {id}"
+        );
+    }
+    for t in adv.attrs() {
+        assert_eq!(
+            adv.baseline_acv(t).to_bits(),
+            batch.baseline_acv(t).to_bits(),
+            "{what}: baseline of {t}"
+        );
+        assert_eq!(
+            adv.majority_value(t),
+            batch.majority_value(t),
+            "{what}: majority of {t}"
+        );
+        for h in adv.attrs() {
+            assert_eq!(
+                adv.raw_edge_acv(t, h).to_bits(),
+                batch.raw_edge_acv(t, h).to_bits(),
+                "{what}: raw ACV ({t}, {h})"
+            );
+        }
+    }
+    assert_eq!(adv.database(), batch.database(), "{what}: window database");
+}
+
+/// A random observation stream over `n_attrs` attributes with values in
+/// `1..=k`, plus the window length to slide.
+fn stream_with_k() -> impl Strategy<Value = (Vec<Vec<Value>>, usize, u8)> {
+    (3usize..=5, 0usize..3).prop_flat_map(|(n_attrs, k_idx)| {
+        let k = [3u8, 5, 8][k_idx];
+        (8usize..=14, 6usize..=18).prop_flat_map(move |(window, extra)| {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(1..=k, n_attrs),
+                    window + extra,
+                ),
+                Just(window),
+                Just(k),
+            )
+        })
+    })
+}
+
+fn db_from(rows: &[Vec<Value>], k: u8) -> Database {
+    let n = rows[0].len();
+    let cols: Vec<Vec<Value>> = (0..n)
+        .map(|a| rows.iter().map(|r| r[a]).collect())
+        .collect();
+    Database::from_columns((0..n).map(|i| format!("A{i}")).collect(), k, cols).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sliding a model with `advance` equals rebuilding from scratch on
+    /// the slid window, for every batch strategy × thread combination,
+    /// at every step.
+    #[test]
+    fn advance_is_bit_identical_to_batch_rebuild((stream, window, k) in stream_with_k()) {
+        let full = db_from(&stream, k);
+        let cfg = ModelConfig {
+            threads: 1,
+            ..ModelConfig::default()
+        };
+        let mut model = AssociationModel::build(&full.slice_obs(0..window), &cfg).unwrap();
+        for step in 0..stream.len() - window {
+            model.advance(&stream[window + step]).unwrap();
+            prop_assert_eq!(model.epoch(), (step + 1) as u64);
+            let w = full.slice_obs(step + 1..step + 1 + window);
+            for strategy in [CountStrategy::Auto, CountStrategy::Bitset, CountStrategy::ObsMajor] {
+                for threads in [1usize, 3] {
+                    let batch = AssociationModel::build(
+                        &w,
+                        &ModelConfig { strategy, threads, ..ModelConfig::default() },
+                    )
+                    .unwrap();
+                    assert_identical(
+                        &model,
+                        &batch,
+                        &format!("step {step}, k {k}, {strategy:?} x{threads}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `WindowedDatabase` ring materializes exactly the `slice_obs`
+    /// window at every slide, including after wrap-around.
+    #[test]
+    fn windowed_database_tracks_slice_obs((stream, window, k) in stream_with_k()) {
+        let full = db_from(&stream, k);
+        let mut ring = WindowedDatabase::from_database(&full.slice_obs(0..window), window).unwrap();
+        for step in 0..stream.len() - window {
+            ring.advance(&stream[window + step]).unwrap();
+            prop_assert_eq!(ring.num_obs(), window);
+            let expect = full.slice_obs(step + 1..step + 1 + window);
+            prop_assert_eq!(ring.to_database(), expect);
+        }
+    }
+}
+
+/// The paper-configuration (C2, k = 5) market-shaped case: a longer
+/// deterministic stream with strong cross-attribute structure, advanced
+/// far enough to wrap the ring several times.
+#[test]
+fn long_structured_stream_stays_identical() {
+    let n = 7usize;
+    let k = 5u8;
+    let len = 90usize;
+    let window = 30usize;
+    let rows: Vec<Vec<Value>> = (0..len)
+        .map(|o| {
+            (0..n)
+                .map(|a| {
+                    // Attributes 0/1 track each other; others cycle.
+                    let v = match a {
+                        0 => o % 5,
+                        1 => (o + usize::from(o % 11 == 0)) % 5,
+                        _ => (o / (a + 1) + a) % 5,
+                    };
+                    (v + 1) as Value
+                })
+                .collect()
+        })
+        .collect();
+    let full = db_from(&rows, k);
+    let cfg = ModelConfig {
+        gamma_edge: 1.20,
+        gamma_hyper: 1.12,
+        threads: 1,
+        ..ModelConfig::default()
+    };
+    let mut model = AssociationModel::build(&full.slice_obs(0..window), &cfg).unwrap();
+    for step in 0..len - window {
+        model.advance(&rows[window + step]).unwrap();
+        // Check a batch rebuild every few slides (and always at the end).
+        if step % 5 == 4 || step == len - window - 1 {
+            let batch =
+                AssociationModel::build(&full.slice_obs(step + 1..step + 1 + window), &cfg)
+                    .unwrap();
+            assert_identical(&model, &batch, &format!("C2 step {step}"));
+        }
+    }
+    assert_eq!(model.epoch(), (len - window) as u64);
+}
+
+/// Derived read paths (association tables, classifier-grade per-edge
+/// tables) agree after advancing, because the model's database slid
+/// exactly.
+#[test]
+fn tables_after_advance_match_batch_tables() {
+    let k = 3u8;
+    let rows: Vec<Vec<Value>> = (0..40)
+        .map(|o| {
+            vec![
+                (o % 3 + 1) as Value,
+                ((o / 2) % 3 + 1) as Value,
+                ((o * 5 / 3) % 3 + 1) as Value,
+            ]
+        })
+        .collect();
+    let full = db_from(&rows, k);
+    let cfg = ModelConfig::default();
+    let mut model = AssociationModel::build(&full.slice_obs(0..25), &cfg).unwrap();
+    for step in 0..10 {
+        model.advance(&rows[25 + step]).unwrap();
+    }
+    let batch = AssociationModel::build(&full.slice_obs(10..35), &cfg).unwrap();
+    let (mt, bt) = (model.tables(), batch.tables());
+    for (id, _) in batch.hypergraph().edges() {
+        assert_eq!(mt.table(id), bt.table(id), "table of {id}");
+    }
+}
+
+/// Validation errors leave the model untouched and advancing resumes
+/// cleanly afterwards.
+#[test]
+fn rejected_rows_do_not_corrupt_the_stream() {
+    let k = 4u8;
+    let rows: Vec<Vec<Value>> = (0..30)
+        .map(|o| vec![(o % 4 + 1) as Value, ((o / 3) % 4 + 1) as Value, 1])
+        .collect();
+    let full = db_from(&rows, k);
+    let cfg = ModelConfig::default();
+    let mut model = AssociationModel::build(&full.slice_obs(0..20), &cfg).unwrap();
+    model.advance(&rows[20]).unwrap();
+    assert_eq!(
+        model.advance(&[1, 2]),
+        Err(AdvanceError::ArityMismatch {
+            expected: 3,
+            got: 2
+        })
+    );
+    assert_eq!(
+        model.advance(&[5, 1, 1]),
+        Err(AdvanceError::ValueOutOfRange { attr: 0, value: 5 })
+    );
+    model.advance(&rows[21]).unwrap();
+    assert_eq!(model.epoch(), 2);
+    let batch = AssociationModel::build(&full.slice_obs(2..22), &cfg).unwrap();
+    assert_identical(&model, &batch, "after rejected rows");
+}

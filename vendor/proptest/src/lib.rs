@@ -99,6 +99,20 @@ pub trait Strategy {
     }
 }
 
+/// A strategy that always yields a clone of its value (upstream
+/// proptest's `Just`), useful inside `prop_flat_map` to carry already
+/// drawn values along.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -193,7 +207,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Accepted sizes for [`vec`]: a fixed length or a length range.
+    /// Accepted sizes for [`vec()`]: a fixed length or a length range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -253,8 +267,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
