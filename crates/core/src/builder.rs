@@ -68,7 +68,7 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
     // graph itself is assembled afterwards through the same `assemble_into`
     // the streaming engine uses, so batch and incremental edge ids cannot
     // diverge.
-    let candidates: Vec<(AttrId, AttrId, AttrId, f64)> = if cfg.with_hyperedges && n >= 3 {
+    let candidates: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> = if cfg.with_hyperedges && n >= 3 {
         let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
@@ -83,45 +83,46 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         let block = pairs.len().div_ceil(threads * 8).max(1);
         let raw = &raw_edge_acv;
         let (engine, attrs) = (&engine, &attrs);
-        let chunks: Vec<Vec<(AttrId, AttrId, AttrId, f64)>> =
-            parallel_blocks(&pairs, threads, block, || {
-                let mut counter = HeadCounter::new(n, db.k());
-                let mut buckets = PairBuckets::new();
-                move |slice: &[(AttrId, AttrId)]| {
-                    let mut out = Vec::new();
-                    for &(a, b) in slice {
-                        // ObsMajor is PairRows-free: bucket obs ids by
-                        // (v_a, v_b) and sweep the buckets for all heads at
-                        // once. Bitset counts each head over cached pair
-                        // row bitsets.
-                        let pair = (strategy2 != CountStrategy::ObsMajor)
-                            .then(|| engine.pair_rows(a, b));
-                        if strategy2 == CountStrategy::ObsMajor {
-                            engine.bucket_pair(a, b, &mut buckets);
-                            engine.hyper_acv_all_heads(&buckets, &mut counter);
+        // Blocks are fixed contiguous pair ranges returned in block order
+        // no matter which worker claimed them, so iterating the blocks in
+        // order keeps edge ids deterministic regardless of thread count.
+        // The per-block candidate vectors are handed to `assemble_into`
+        // as-is — flattening millions of kept candidates into one vector
+        // first would only copy them again.
+        parallel_blocks(&pairs, threads, block, || {
+            let mut counter = HeadCounter::new(n, db.k());
+            let mut buckets = PairBuckets::new();
+            move |slice: &[(AttrId, AttrId)]| {
+                let mut out = Vec::new();
+                for &(a, b) in slice {
+                    // ObsMajor is PairRows-free: bucket obs ids by
+                    // (v_a, v_b) and sweep the buckets for all heads at
+                    // once. Bitset counts each head over cached pair
+                    // row bitsets.
+                    let pair = (strategy2 != CountStrategy::ObsMajor)
+                        .then(|| engine.pair_rows(a, b));
+                    if strategy2 == CountStrategy::ObsMajor {
+                        engine.bucket_pair(a, b, &mut buckets);
+                        engine.hyper_acv_all_heads(&buckets, &mut counter);
+                    }
+                    for &h in attrs {
+                        if h == a || h == b {
+                            continue;
                         }
-                        for &h in attrs {
-                            if h == a || h == b {
-                                continue;
-                            }
-                            let acv = match &pair {
-                                Some(pair) => engine.hyper_acv(pair, h),
-                                None => counter.acv(h),
-                            };
-                            let floor = raw[a.index() * n + h.index()]
-                                .max(raw[b.index() * n + h.index()]);
-                            if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
-                                out.push((a, b, h, acv));
-                            }
+                        let acv = match &pair {
+                            Some(pair) => engine.hyper_acv(pair, h),
+                            None => counter.acv(h),
+                        };
+                        let floor = raw[a.index() * n + h.index()]
+                            .max(raw[b.index() * n + h.index()]);
+                        if acv > 0.0 && acv >= cfg.gamma_hyper * floor {
+                            out.push((a, b, h, acv));
                         }
                     }
-                    out
                 }
-            });
-        // Blocks are fixed contiguous pair ranges returned in block order
-        // no matter which worker claimed them, so flattening in order keeps
-        // edge ids deterministic regardless of thread count.
-        chunks.into_iter().flatten().collect()
+                out
+            }
+        })
     } else {
         Vec::new()
     };
@@ -167,10 +168,12 @@ pub(crate) fn edge_kept(
 
 /// Fills an **empty** graph with the kept edges of one model state: the
 /// γ₁-kept directed edges in tail-major order, then the already-filtered
-/// 2-to-1 hyperedge candidates in `(pair, head)` order. Both the batch
-/// builder and the streaming engine's per-slide reassembly go through
-/// here, which is what makes their edge ids provably identical: same
-/// input order, same insertion order, same ids.
+/// 2-to-1 hyperedge candidates in `(pair, head)` order — passed as the
+/// per-block vectors the parallel pass produced (concatenating the
+/// blocks in order is exactly the sequential candidate order). Both the
+/// batch builder and the streaming engine's per-slide reassembly go
+/// through here, which is what makes their edge ids provably identical:
+/// same input order, same insertion order, same ids.
 ///
 /// Capacities are reserved exactly before insertion (the kept set is
 /// known up front), and edges are inserted through the hypergraph's
@@ -182,7 +185,7 @@ pub(crate) fn assemble_into(
     raw_edge_acv: &[f64],
     baseline: &[f64],
     gamma_edge: f64,
-    candidates: &[(AttrId, AttrId, AttrId, f64)],
+    candidate_blocks: &[Vec<(AttrId, AttrId, AttrId, f64)>],
 ) {
     let n = attrs.len();
     debug_assert_eq!(graph.num_edges(), 0, "assemble_into needs an empty graph");
@@ -202,12 +205,13 @@ pub(crate) fn assemble_into(
             }
         }
     }
-    for (a, b, h, _) in candidates {
+    let kept2: usize = candidate_blocks.iter().map(Vec::len).sum();
+    for (a, b, h, _) in candidate_blocks.iter().flatten() {
         out_deg[a.index()] += 1;
         out_deg[b.index()] += 1;
         in_deg[h.index()] += 1;
     }
-    graph.reserve_edges(kept1 + candidates.len());
+    graph.reserve_edges(kept1 + kept2);
     for &a in attrs {
         graph.reserve_incidence(node_of(a), out_deg[a.index()], in_deg[a.index()]);
     }
@@ -220,7 +224,7 @@ pub(crate) fn assemble_into(
             }
         }
     }
-    for &(a, b, h, acv) in candidates {
+    for &(a, b, h, acv) in candidate_blocks.iter().flatten() {
         graph.add_edge_unchecked(&[node_of(a), node_of(b)], &[node_of(h)], acv);
     }
 }

@@ -31,21 +31,34 @@ impl CountStrategy {
     /// Cost model, per head of one tail: the bitset path performs
     /// `rows · (k−1)` intersection popcounts of `⌈m/64⌉` words; the
     /// observation-major path performs `m` counter bumps (the rows
-    /// partition the observations) plus a per-row best-count fold that the
-    /// v3 engine runs at roughly one-eighth of a scalar op per counter
-    /// slot (unrolled dense scan; sparse rows cost even less via the
-    /// dirty list) — `m + rows + rows·k/8`. Comparing the two operation
-    /// counts directly matches the measured crossover on x86-64 (bench
-    /// fixture, `m ≈ 500`): the paper's C1 setting `k = 3` stays on
-    /// `Bitset` (≈1.9× faster there), the pair pass switches to `ObsMajor`
-    /// from C2's `k = 5` (≈1.8× faster) and wins ≈5× by `k = 8`, while
-    /// the cheap directed pass 1 holds out until `k = 12`.
+    /// partition the observations) plus a per-row best-count fold that
+    /// the blocked flat kernels run at roughly one-eighth of a scalar op
+    /// per counter slot — `0.7·m + rows + rows·k/8`, where the 0.7 factor
+    /// is the v4 flat-bump discount (precomputed u16 slot stripes off the
+    /// `SlotMatrix`, four observations in lockstep) over the v3 per-head
+    /// walk the old model was fitted to. Comparing the two operation
+    /// counts directly matches the measured crossovers on x86-64 (bench
+    /// fixtures, `m ≈ 500`, re-measured at n ∈ {40, 120, 240}, which
+    /// scale both sides equally — the crossover `k` is n-independent):
+    /// the paper's C1 setting `k = 3` stays on `Bitset` for both passes
+    /// (≈1.3× faster, at n = 40 as at n = 240), the pair pass switches to
+    /// `ObsMajor` from `k = 4` (≈1.3× there, ≈10× by k = 8 at n = 40),
+    /// and the cheap directed pass 1 flips at `k = 8`.
     pub fn resolve(self, rows_per_tail: usize, k: usize, num_obs: usize) -> CountStrategy {
         match self {
             CountStrategy::Auto => {
                 let words = num_obs.div_ceil(64);
                 let bitset_per_head = rows_per_tail * k.saturating_sub(1) * words;
-                let obs_per_head = num_obs + rows_per_tail + rows_per_tail * k / 8;
+                // The 0.7 bump discount only exists where the flat kernel
+                // can engage; past the u16 counter bound (m > 65535) the
+                // dense path is the segmented per-head walk the old
+                // 1.0·m fit was measured on.
+                let bump = if num_obs <= u16::MAX as usize {
+                    7 * num_obs / 10
+                } else {
+                    num_obs
+                };
+                let obs_per_head = bump + rows_per_tail + rows_per_tail * k / 8;
                 if bitset_per_head > obs_per_head {
                     CountStrategy::ObsMajor
                 } else {
@@ -85,6 +98,17 @@ pub struct ModelConfig {
     /// incremental maintenance has a single counting path whose output is
     /// bit-identical to every strategy by construction.
     pub strategy: CountStrategy,
+    /// Memory budget for the incremental engine's triple-count tensor in
+    /// bytes; `None` uses the built-in 32 MB default. The tensor makes a
+    /// slide's pass-2 update a handful of cell pokes per `(pair, head)`;
+    /// beyond the budget (for wide attribute sets the tensor grows as
+    /// `n³·k³/2` bytes — `n ≈ 128` at `k = 3` already exceeds 32 MB) the
+    /// engine falls back to re-counting the two affected pair rows per
+    /// slide, which produces bit-identical models at a higher per-slide
+    /// cost that is cheapest exactly at large `k`. Lower it to cap
+    /// streaming memory, raise it to keep the tensor at larger `n·k`.
+    /// `Some(0)` forces the row-recount fallback.
+    pub triple_tensor_max_bytes: Option<usize>,
 }
 
 impl Default for ModelConfig {
@@ -96,6 +120,7 @@ impl Default for ModelConfig {
             with_hyperedges: true,
             threads: 0,
             strategy: CountStrategy::Auto,
+            triple_tensor_max_bytes: None,
         }
     }
 }
@@ -149,9 +174,12 @@ mod tests {
         // C1 (k = 3) stays on the bitset path for both passes…
         assert_eq!(CountStrategy::Auto.resolve(3, 3, m), CountStrategy::Bitset);
         assert_eq!(CountStrategy::Auto.resolve(9, 3, m), CountStrategy::Bitset);
-        // …the pair pass crosses over from C2's k = 5…
+        // …the pair pass crosses over from k = 4 with the v4 flat kernels
+        // (measured 1.3× at n = 40 and n = 120)…
+        assert_eq!(CountStrategy::Auto.resolve(16, 4, m), CountStrategy::ObsMajor);
         assert_eq!(CountStrategy::Auto.resolve(25, 5, m), CountStrategy::ObsMajor);
-        // …while the cheap directed pass holds out longer…
+        // …while the cheap directed pass holds out a little longer…
+        assert_eq!(CountStrategy::Auto.resolve(4, 4, m), CountStrategy::Bitset);
         assert_eq!(CountStrategy::Auto.resolve(5, 5, m), CountStrategy::Bitset);
         // …and large k is observation-major everywhere it matters.
         assert_eq!(CountStrategy::Auto.resolve(64, 8, m), CountStrategy::ObsMajor);
@@ -159,10 +187,10 @@ mod tests {
             CountStrategy::Auto.resolve(144, 12, m),
             CountStrategy::ObsMajor
         );
-        // The directed pass crosses over at k = 12 (the pair-bucket engine
-        // made ObsMajor cheap enough that only intersection-heavy tails
-        // keep Bitset competitive)…
-        assert_eq!(CountStrategy::Auto.resolve(8, 8, m), CountStrategy::Bitset);
+        // The directed pass now crosses over at k = 8 (the flat blocked
+        // bump made ObsMajor cheap enough that only intersection-light
+        // small-k tails keep Bitset competitive).
+        assert_eq!(CountStrategy::Auto.resolve(8, 8, m), CountStrategy::ObsMajor);
         assert_eq!(
             CountStrategy::Auto.resolve(12, 12, m),
             CountStrategy::ObsMajor

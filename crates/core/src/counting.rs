@@ -17,21 +17,38 @@
 //!   simultaneously into a reusable [`HeadCounter`]. The pair sweep is
 //!   **PairRows-free**: it reads row memberships straight off
 //!   [`PairBuckets`] (obs ids grouped by `(v_a, v_b)` in one counting-sort
-//!   pass), never intersecting bitsets, and the per-row best-count fold
-//!   scans only the counter slots the row actually touched (a dirty list),
-//!   so a sparse row costs `O(touched)` instead of `O(n·k)`. Per pair:
-//!   `O(m + m·(n−2) + Σ_rows touched)` versus the bitset path's
+//!   pass), never intersecting bitsets. Dense rows take the **blocked
+//!   flat kernel**: per head tile of at most `TILE_SLOTS` u16 counter
+//!   lanes (L1-sized — the "head blocking" lever for wide attribute
+//!   sets), the observations' precomputed [`SlotMatrix`] slot stripes are
+//!   streamed four observations in lockstep and `counts[slot]` bumped
+//!   directly — no per-head multiply, no byte widening, ≈1 increment per
+//!   cycle sustained; the per-row fold is a branch-free `k`-monomorphized
+//!   max reduction over padded, 8-byte-aligned u16 chunks plus one bulk
+//!   memset. Rows of 1–4 observations skip the counters entirely (exact
+//!   `O(n)` comparison folds), and mid-size rows under `k/4` observations
+//!   use a dirty list (`O(touched)` instead of `O(n·k)`). Per pair:
+//!   `O(m + m·(n−2) + Σ_rows fold)` versus the bitset path's
 //!   `O(k²·m/64 + (n−2)·k²·(k−1)·m/64)` — both the `k³/64` per-head factor
-//!   and the `k²·m/64` pair-setup term are gone.
+//!   and the `k²·m/64` pair-setup term are gone, and the constant in
+//!   front of `m·(n−2)` is ~0.7 of the pre-blocked per-head walk's
+//!   (measured at n ∈ {40, 120, 240}; see `CountStrategy::resolve`).
 //!
 //! Both strategies produce bit-identical ACVs (they accumulate the same
 //! integer counts and perform the same final division); the builder picks
-//! between them via `CountStrategy` in the model configuration. The
-//! `*_acv*` methods are allocation-free (the construction sweep touches
-//! tens of millions of `(pair, head)` combinations); the `*_table` methods
-//! materialize full [`AssociationTable`]s and are used on demand — by the
-//! classifier for its relevant edges and by reporting code ([`PairRows`]
-//! lives on for exactly those per-head table paths). A naive recount path
+//! between them via `CountStrategy` in the model configuration: the
+//! measured crossovers put the paper's C1 setting `k = 3` on `Bitset`,
+//! the pair pass on `ObsMajor` from `k = 4`, and the directed pass 1 on
+//! `ObsMajor` from `k = 8`, independent of `n` (both sides scale with
+//! the head count). The flat kernel needs `n · stride ≤ 65536` and
+//! `m ≤ 65535` (u16 slots and counters); beyond either bound the dense
+//! path falls back to the segmented per-head byte walk with u32
+//! counters, bit-identically. The `*_acv*` methods are allocation-free
+//! (the construction sweep touches tens of millions of `(pair, head)`
+//! combinations); the `*_table` methods materialize full
+//! [`AssociationTable`]s and are used on demand — by the classifier for
+//! its relevant edges and by reporting code ([`PairRows`] lives on for
+//! exactly those per-head table paths). A naive recount path
 //! cross-validates both fast paths in tests.
 //!
 //! These are the **batch** counting paths: one pass over a fixed window,
@@ -50,7 +67,7 @@
 //! [`PairBuckets`]: hypermine_data::PairBuckets
 
 use crate::table::{AssociationTable, RowCounts};
-use hypermine_data::{AttrId, Database, ObsMatrix, PairBuckets, Value, ValueIndex};
+use hypermine_data::{AttrId, Database, ObsMatrix, PairBuckets, SlotMatrix, Value, ValueIndex};
 
 /// Cached tail-row bitsets for an unordered attribute pair `{a, b}`:
 /// `k²` bitsets (one per `(v_a, v_b)` assignment) plus their popcounts.
@@ -82,6 +99,16 @@ impl PairRows {
     }
 }
 
+/// Counter lanes per head tile of the blocked flat bump passes: a tile
+/// bounds the slice of the u16 counter array one dense row sweep touches
+/// to 16 KB (8192 lanes), keeping the histogram L1-resident even as
+/// `n·stride` grows toward the [`SlotMatrix`] limit (128 KB of counters
+/// at `n·stride = 65536`). At the bench fixtures (`n·stride ≤ 1920`
+/// lanes for n = 240, k = 8) a single tile covers every head and the
+/// blocking adds no work at all; the tile loop only splits once
+/// `n·stride > 8192`.
+const TILE_SLOTS: usize = 8 << 10;
+
 /// Reusable scratch for the observation-major multi-head sweep: per-head
 /// per-value counters within the current tail row, plus per-head
 /// accumulated best counts across rows.
@@ -96,15 +123,23 @@ impl PairRows {
 ///
 /// - `c == 1`: every head's best count is 1 — the row is tallied in `O(1)`
 ///   and folded into the totals once per sweep, with no counting at all;
-/// - `c == 2`: the two observation rows are compared directly — `O(n)`,
-///   no counter traffic;
-/// - sparse rows (`2 < c < k/4`): the bump loop records first-touched
+/// - `c ∈ {2, 3, 4}` (pair pass): the observation rows are compared
+///   directly — the best multiplicity of 2–4 values falls out of their
+///   pairwise equalities — `O(n)` with no counter traffic at all;
+/// - sparse rows (`4 < c < k/4`): the bump loop records first-touched
 ///   slots in a **dirty list** and the fold scans and zeroes only those —
 ///   `O(c·n)` instead of the dense fold's `O(n·k)`, the regime where the
 ///   old fold's `k³·(n−2)` pair-pass term lived;
-/// - dense rows: plain increments (no tracking tax, two observations per
-///   head walk) and a `k`-monomorphized unrolled max-and-zero scan over
-///   each head's `k` slots.
+/// - dense rows: **flat blocked bumps** off the precomputed [`SlotMatrix`]
+///   when the database admits one (`n·k ≤ 65536`): per head tile of at
+///   most `TILE_SLOTS` (8192) counter lanes, the row's observations' contiguous
+///   u16 slot stripes are streamed and `counts[slot]` incremented directly
+///   — no per-head multiply, no byte widening, no segment branches — with
+///   four observations in lockstep to overlap the read-modify-write
+///   chains. Databases beyond the slot limit fall back to the segmented
+///   per-head walk (`bump_obs`/`bump_obs2`). Either way the fold is a
+///   `k`-monomorphized unrolled max-and-zero scan over each head's `k`
+///   slots.
 #[derive(Debug, Clone)]
 pub struct HeadCounter {
     k: usize,
@@ -114,6 +149,19 @@ pub struct HeadCounter {
     /// strength-reduced to an addition). Zeroed between rows by whichever
     /// fold ran.
     counts: Vec<u32>,
+    /// u16 twin of `counts` for the flat blocked dense path (engaged only
+    /// when `m ≤ u16::MAX`, so no row count can overflow): halving the
+    /// lane width halves both the bump pass's L1 store traffic and the
+    /// fold's read+memset traffic, and lets the unrolled max reduction
+    /// run twice as many lanes per vector. Laid out at the padded
+    /// [`SlotMatrix::counter_stride`] (`k` rounded up to a multiple of
+    /// four lanes) so every head's chunk is 8-byte aligned; the padding
+    /// lanes are never bumped and stay zero. Zeroed between rows by
+    /// [`HeadCounter::fold_row_dense_flat`].
+    flat: Vec<u16>,
+    /// `SlotMatrix::counter_stride(k)` — the per-head lane stride of
+    /// `flat` and of the slot values addressing it.
+    stride: usize,
     /// Slots of `counts` first-touched by a sparse row, packed as
     /// `(head << 32) | slot`; drained (and the slots zeroed) by the
     /// sparse fold.
@@ -123,6 +171,10 @@ pub struct HeadCounter {
     sparse_best: Vec<u32>,
     /// Heads touched during a sparse fold (scratch).
     dirty_heads: Vec<u32>,
+    /// Obs ids of the dense value row being swept (scratch of the flat
+    /// blocked pass-1 bump, which needs the row's ids materialized to
+    /// stream four slot stripes in lockstep).
+    ids: Vec<u32>,
     /// Rows with exactly one observation seen this sweep; folded into
     /// every non-tail total by `finish` (each contributes best count 1).
     single_rows: u64,
@@ -147,9 +199,12 @@ impl HeadCounter {
             k: k as usize,
             num_obs: 0,
             counts: vec![0u32; num_attrs * k as usize],
+            flat: vec![0u16; num_attrs * SlotMatrix::counter_stride(k as usize)],
+            stride: SlotMatrix::counter_stride(k as usize),
             dirty: Vec::with_capacity(num_attrs * k as usize),
             sparse_best: vec![0u32; num_attrs],
             dirty_heads: Vec::with_capacity(num_attrs),
+            ids: Vec::new(),
             single_rows: 0,
             totals: vec![0u64; num_attrs],
             tail: [usize::MAX; 2],
@@ -157,16 +212,19 @@ impl HeadCounter {
         }
     }
 
-    /// Sparse-row cutoff: rows with `2 < c <` this many observations use
-    /// the dirty-list bump + fold (`O(c·n)` work) instead of plain
+    /// Sparse-row cutoff: rows with `4 < c <` this many observations use
+    /// the dirty-list bump + fold (`O(c·n)` work) instead of flat
     /// increments + the dense fold (`O(c·n + n·k)`, but with a far
     /// cheaper unrolled per-slot scan). The tracking tax on every bump
     /// only pays for itself when the row touches well under a quarter of
     /// each head's `k` slots, so the cutoff is `k/4` — inert at the
     /// paper's domain sizes (rows that small are caught by the exact
-    /// 1-/2-observation folds first) and increasingly active as `k` grows
-    /// past 12, exactly the regime where the dense fold's `k³·(n−2)`
-    /// pair-pass term used to live.
+    /// 1-to-4-observation folds first) and increasingly active as `k`
+    /// grows past 16. Re-measured against the blocked flat kernels at
+    /// `n ∈ {40, 120}`, `k ∈ {12, 16}`: `k/4` still wins (disabling the
+    /// dirty list costs ~20% at n = 120, k = 16; widening the cutoff to
+    /// `k/2` or `k` regresses 1.7–4× — the flat dense bump is simply much
+    /// cheaper per touch than the tracked one).
     #[inline]
     fn sparse_cutoff(&self) -> usize {
         self.k / 4
@@ -198,6 +256,50 @@ impl HeadCounter {
             if h != t0 && h != t1 {
                 self.totals[h] += 1 + u64::from(va == vb);
             }
+        }
+    }
+
+    /// Folds a row with exactly three observations by comparing their
+    /// value rows directly: a head's best count is 3 when all agree, 2
+    /// when any pair agrees, else 1. `O(n)` with no counter traffic —
+    /// branch-free accumulation, tail totals pinned by `finish` like the
+    /// dense folds.
+    fn fold_three(&mut self, row_a: &[Value], row_b: &[Value], row_c: &[Value]) {
+        for (((&va, &vb), &vc), t) in row_a
+            .iter()
+            .zip(row_b)
+            .zip(row_c)
+            .zip(self.totals.iter_mut())
+        {
+            let ab = va == vb;
+            let pair = ab | (va == vc) | (vb == vc);
+            *t += 1 + u64::from(pair) + u64::from(ab & (va == vc));
+        }
+    }
+
+    /// Folds a row with exactly four observations by comparing their
+    /// value rows directly. The number of equal pairs among four values
+    /// determines the best multiplicity uniquely: 0 pairs → 1, 1–2 pairs
+    /// (one pair / two disjoint pairs) → 2, 3 pairs (a triple) → 3,
+    /// 6 pairs (all equal) → 4; 4 and 5 equal pairs are impossible.
+    /// `O(n)` with no counter traffic, tail totals pinned by `finish`.
+    fn fold_four(&mut self, rows: [&[Value]; 4]) {
+        const BEST: [u64; 7] = [1, 2, 2, 3, 0, 0, 4];
+        let [ra, rb, rc, rd] = rows;
+        for ((((&va, &vb), &vc), &vd), t) in ra
+            .iter()
+            .zip(rb)
+            .zip(rc)
+            .zip(rd)
+            .zip(self.totals.iter_mut())
+        {
+            let pairs = u8::from(va == vb)
+                + u8::from(va == vc)
+                + u8::from(va == vd)
+                + u8::from(vb == vc)
+                + u8::from(vb == vd)
+                + u8::from(vc == vd);
+            *t += BEST[pairs as usize];
         }
     }
 
@@ -262,6 +364,121 @@ impl HeadCounter {
         }
     }
 
+    /// Head-tile width of the blocked flat sweep: as many heads as keep a
+    /// tile's counter slice within [`TILE_SLOTS`] u16 lanes.
+    #[inline]
+    fn tile_heads(&self) -> usize {
+        (TILE_SLOTS / self.stride).max(1)
+    }
+
+    /// Dense-row bump pass over precomputed slot stripes, blocked by head
+    /// tile: for each tile, the row's observations' contiguous u16 slot
+    /// lanes are streamed and `counts[slot]` incremented directly. The
+    /// slot index `h·k + (v−1)` is independent of the swept tail, so the
+    /// stripes come straight off the shared [`SlotMatrix`] — no per-head
+    /// multiply, no byte widening. Four observations go through each tile
+    /// in lockstep, which overlaps the four independent read-modify-write
+    /// chains the one-row loop would serialize.
+    ///
+    /// Tail columns are bumped like any other (their counts are zeroed by
+    /// the fold and their totals never accumulated), trading the old
+    /// segmented walk's 2/n skip for branch-free contiguous stripes.
+    fn bump_row_flat(&mut self, slots: &SlotMatrix, ids: &[u32], tile_heads: usize) {
+        let n = slots.num_attrs();
+        let counts = &mut self.flat[..];
+        let mut h0 = 0usize;
+        while h0 < n {
+            let h1 = (h0 + tile_heads).min(n);
+            let mut quads = ids.chunks_exact(4);
+            for q in &mut quads {
+                let s0 = slots.stripe(q[0] as usize, h0, h1);
+                let s1 = slots.stripe(q[1] as usize, h0, h1);
+                let s2 = slots.stripe(q[2] as usize, h0, h1);
+                let s3 = slots.stripe(q[3] as usize, h0, h1);
+                // Four heads per step off one u64 read per stripe (the
+                // stripes are contiguous u16 lanes): 4 loads feed 16
+                // increments, keeping the loop store-bound instead of
+                // load-bound.
+                let mut w0 = s0.chunks_exact(4);
+                let mut w1 = s1.chunks_exact(4);
+                let mut w2 = s2.chunks_exact(4);
+                let mut w3 = s3.chunks_exact(4);
+                for (((a, b), c), d) in (&mut w0).zip(&mut w1).zip(&mut w2).zip(&mut w3) {
+                    for i in 0..4 {
+                        counts[a[i] as usize] += 1;
+                        counts[b[i] as usize] += 1;
+                        counts[c[i] as usize] += 1;
+                        counts[d[i] as usize] += 1;
+                    }
+                }
+                for (((&a, &b), &c), &d) in w0
+                    .remainder()
+                    .iter()
+                    .zip(w1.remainder())
+                    .zip(w2.remainder())
+                    .zip(w3.remainder())
+                {
+                    counts[a as usize] += 1;
+                    counts[b as usize] += 1;
+                    counts[c as usize] += 1;
+                    counts[d as usize] += 1;
+                }
+            }
+            for &o in quads.remainder() {
+                for &s in slots.stripe(o as usize, h0, h1) {
+                    counts[s as usize] += 1;
+                }
+            }
+            h0 = h1;
+        }
+    }
+
+    /// Ends a flat-bumped dense row: the u16 twin of
+    /// [`HeadCounter::fold_row_dense`], scanning the padded
+    /// [`SlotMatrix::counter_stride`] chunks — always a multiple of four
+    /// lanes, so the monomorphized max reductions vectorize evenly at
+    /// every `k` (the padding lanes hold zero and never win the max).
+    fn fold_row_dense_flat(&mut self) {
+        match self.stride {
+            4 => self.fold_row_dense_flat_k::<4>(),
+            8 => self.fold_row_dense_flat_k::<8>(),
+            12 => self.fold_row_dense_flat_k::<12>(),
+            16 => self.fold_row_dense_flat_k::<16>(),
+            _ => self.fold_row_dense_flat_any(),
+        }
+        self.flat.fill(0);
+    }
+
+    /// `fold_row_dense_flat` max pass for a compile-time
+    /// `K == self.stride`.
+    fn fold_row_dense_flat_k<const K: usize>(&mut self) {
+        for (chunk, t) in self.flat.chunks_exact(K).zip(self.totals.iter_mut()) {
+            let chunk: &[u16; K] = chunk.try_into().expect("chunk length is K");
+            let mut best = 0u16;
+            for &c in chunk {
+                best = best.max(c);
+            }
+            *t += best as u64;
+        }
+    }
+
+    /// `fold_row_dense_flat` max pass for arbitrary runtime strides.
+    fn fold_row_dense_flat_any(&mut self) {
+        for (chunk, t) in self
+            .flat
+            .chunks_exact(self.stride)
+            .zip(self.totals.iter_mut())
+        {
+            let mut best = 0u16;
+            for &c in chunk {
+                if c > best {
+                    best = c;
+                }
+            }
+            *t += best as u64;
+        }
+    }
+
     /// Ends a sparse tail row: folds each touched head's best count into
     /// its total (tail heads excluded) and re-zeroes exactly the touched
     /// slots. `O(touched)`, not `O(n·k)`.
@@ -290,9 +507,12 @@ impl HeadCounter {
     }
 
     /// Ends a dense tail row: per-head max over the head's `k` counter
-    /// slots, zeroing as it scans. Dispatches to a `k`-monomorphized body
-    /// for the common domain sizes so the compiler fully unrolls (and
-    /// vectorizes) the tiny inner loop.
+    /// slots, then one bulk re-zero of the counter matrix. The max pass
+    /// carries no stores and no per-head tail branch (tail totals are
+    /// accumulated like any other and pinned back to zero by `finish`), so
+    /// the compiler unrolls and vectorizes the `k`-monomorphized reduction
+    /// cleanly; the zeroing collapses to a single `memset` instead of `n`
+    /// interleaved `k`-slot writebacks.
     fn fold_row_dense(&mut self) {
         match self.k {
             2 => self.fold_row_dense_k::<2>(),
@@ -306,62 +526,57 @@ impl HeadCounter {
             16 => self.fold_row_dense_k::<16>(),
             _ => self.fold_row_dense_any(),
         }
+        self.counts.fill(0);
     }
 
-    /// `fold_row_dense` body for a compile-time `K == self.k`.
+    /// `fold_row_dense` max pass for a compile-time `K == self.k`.
     fn fold_row_dense_k<const K: usize>(&mut self) {
-        let [t0, t1] = self.tail;
-        for (h, (chunk, t)) in self
-            .counts
-            .chunks_exact_mut(K)
-            .zip(self.totals.iter_mut())
-            .enumerate()
-        {
-            let chunk: &mut [u32; K] = chunk.try_into().expect("chunk length is K");
+        for (chunk, t) in self.counts.chunks_exact(K).zip(self.totals.iter_mut()) {
+            let chunk: &[u32; K] = chunk.try_into().expect("chunk length is K");
             let mut best = 0u32;
-            for c in chunk {
-                best = best.max(*c);
-                *c = 0;
+            for &c in chunk {
+                best = best.max(c);
             }
-            if h != t0 && h != t1 {
-                *t += best as u64;
-            }
+            *t += best as u64;
         }
     }
 
-    /// `fold_row_dense` body for arbitrary runtime `k`.
+    /// `fold_row_dense` max pass for arbitrary runtime `k`.
     fn fold_row_dense_any(&mut self) {
-        let [t0, t1] = self.tail;
-        for (h, (chunk, t)) in self
+        for (chunk, t) in self
             .counts
-            .chunks_exact_mut(self.k)
+            .chunks_exact(self.k)
             .zip(self.totals.iter_mut())
-            .enumerate()
         {
             let mut best = 0u32;
-            for c in chunk {
-                if *c > best {
-                    best = *c;
+            for &c in chunk {
+                if c > best {
+                    best = c;
                 }
-                *c = 0;
             }
-            if h != t0 && h != t1 {
-                *t += best as u64;
-            }
+            *t += best as u64;
         }
     }
 
     /// Ends a sweep: folds the deferred single-observation rows into every
-    /// non-tail total.
+    /// non-tail total and pins the tail totals back to zero (the branch-free
+    /// dense folds accumulate them like any other head; they are never
+    /// read, but the zero keeps the "tail totals are 0" invariant the
+    /// debug asserts and release reads rely on).
     fn finish(&mut self) {
-        if self.single_rows == 0 {
-            return;
-        }
         let [t0, t1] = self.tail;
-        for (h, t) in self.totals.iter_mut().enumerate() {
-            if h != t0 && h != t1 {
-                *t += self.single_rows;
+        if self.single_rows > 0 {
+            for (h, t) in self.totals.iter_mut().enumerate() {
+                if h != t0 && h != t1 {
+                    *t += self.single_rows;
+                }
             }
+        }
+        if t0 != usize::MAX {
+            self.totals[t0] = 0;
+        }
+        if t1 != usize::MAX {
+            self.totals[t1] = 0;
         }
     }
 
@@ -436,6 +651,10 @@ pub struct CountingEngine<'a> {
     /// never touch it, and it costs `n·m` bytes. `OnceLock` keeps the
     /// engine shareable across the builder's scoped worker threads.
     obs: std::sync::OnceLock<ObsMatrix>,
+    /// Precomputed counter-slot stripes feeding the flat blocked dense
+    /// bumps, built on first use; `None` when `n·k` exceeds the u16 slot
+    /// range (the sweeps then fall back to the segmented per-head walk).
+    slots: std::sync::OnceLock<Option<SlotMatrix>>,
 }
 
 impl<'a> CountingEngine<'a> {
@@ -447,12 +666,27 @@ impl<'a> CountingEngine<'a> {
             db,
             idx: ValueIndex::build(db),
             obs: std::sync::OnceLock::new(),
+            slots: std::sync::OnceLock::new(),
         }
     }
 
     /// The row-major code matrix, built on first use.
     fn obs(&self) -> &ObsMatrix {
         self.obs.get_or_init(|| ObsMatrix::build(self.db))
+    }
+
+    /// The counter-slot stripe matrix feeding the flat blocked dense
+    /// bumps, built on first use; `None` beyond the u16 slot range
+    /// (`n·k > 65536`) or when a row count could overflow the u16
+    /// counter lanes (`m > 65535`) — the sweeps then fall back to the
+    /// segmented per-head walk over the byte matrix.
+    fn slots(&self) -> Option<&SlotMatrix> {
+        if self.db.num_obs() > u16::MAX as usize {
+            return None;
+        }
+        self.slots
+            .get_or_init(|| SlotMatrix::build(self.db))
+            .as_ref()
     }
 
     /// The underlying database.
@@ -529,6 +763,8 @@ impl<'a> CountingEngine<'a> {
     pub fn edge_acv_all_heads(&self, a: AttrId, out: &mut HeadCounter) {
         self.check_counter(out);
         let obs = self.obs();
+        let slots = self.slots();
+        let tile_heads = out.tile_heads();
         out.begin(self.db.num_obs(), [a.index(), usize::MAX]);
         for va in 1..=self.db.k() {
             let count = self.idx.count1(a, va);
@@ -544,10 +780,20 @@ impl<'a> CountingEngine<'a> {
                     for_each_bit(bits, |o| out.bump_obs_tracked(obs.row(o)));
                     out.fold_row_sparse();
                 }
-                _ => {
-                    for_each_bit(bits, |o| out.bump_obs(obs.row(o)));
-                    out.fold_row_dense();
-                }
+                _ => match slots {
+                    Some(slots) => {
+                        let mut ids = std::mem::take(&mut out.ids);
+                        ids.clear();
+                        for_each_bit(bits, |o| ids.push(o as u32));
+                        out.bump_row_flat(slots, &ids, tile_heads);
+                        out.ids = ids;
+                        out.fold_row_dense_flat();
+                    }
+                    None => {
+                        for_each_bit(bits, |o| out.bump_obs(obs.row(o)));
+                        out.fold_row_dense();
+                    }
+                },
             }
         }
         out.finish();
@@ -587,6 +833,8 @@ impl<'a> CountingEngine<'a> {
             "PairBuckets built for a different database"
         );
         let obs = self.obs();
+        let slots = self.slots();
+        let tile_heads = out.tile_heads();
         out.begin(self.db.num_obs(), [a.index(), b.index()]);
         for r in 0..buckets.num_rows() {
             let ids = buckets.row(r);
@@ -594,22 +842,39 @@ impl<'a> CountingEngine<'a> {
                 [] => continue,
                 [_] => out.fold_single(),
                 [o1, o2] => out.fold_two(obs.row(o1 as usize), obs.row(o2 as usize)),
+                [o1, o2, o3] => out.fold_three(
+                    obs.row(o1 as usize),
+                    obs.row(o2 as usize),
+                    obs.row(o3 as usize),
+                ),
+                [o1, o2, o3, o4] => out.fold_four([
+                    obs.row(o1 as usize),
+                    obs.row(o2 as usize),
+                    obs.row(o3 as usize),
+                    obs.row(o4 as usize),
+                ]),
                 _ if ids.len() < out.sparse_cutoff() => {
                     for &o in ids {
                         out.bump_obs_tracked(obs.row(o as usize));
                     }
                     out.fold_row_sparse();
                 }
-                _ => {
-                    let mut it = ids.chunks_exact(2);
-                    for two in &mut it {
-                        out.bump_obs2(obs.row(two[0] as usize), obs.row(two[1] as usize));
+                _ => match slots {
+                    Some(slots) => {
+                        out.bump_row_flat(slots, ids, tile_heads);
+                        out.fold_row_dense_flat();
                     }
-                    if let [o] = *it.remainder() {
-                        out.bump_obs(obs.row(o as usize));
+                    None => {
+                        let mut it = ids.chunks_exact(2);
+                        for two in &mut it {
+                            out.bump_obs2(obs.row(two[0] as usize), obs.row(two[1] as usize));
+                        }
+                        if let [o] = *it.remainder() {
+                            out.bump_obs(obs.row(o as usize));
+                        }
+                        out.fold_row_dense();
                     }
-                    out.fold_row_dense();
-                }
+                },
             }
         }
         out.finish();

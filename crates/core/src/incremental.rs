@@ -51,7 +51,7 @@ use crate::builder;
 use crate::config::ModelConfig;
 use crate::counting::{for_each_bit, CountingEngine, HeadCounter};
 use crate::model::AssociationModel;
-use crate::parallel::parallel_chunks;
+use crate::parallel::parallel_blocks;
 use hypermine_data::{
     AttrId, Database, ObsMatrix, PairBuckets, Value, ValueIndex, WindowedDatabase,
 };
@@ -88,12 +88,32 @@ impl fmt::Display for AdvanceError {
 
 impl std::error::Error for AdvanceError {}
 
-/// Memory budget for the optional triple-count tensor
-/// (`n·(n−1)/2 · k³ · n` u16 counters). 32 MB covers the paper's C1/C2
-/// settings and the 40-ticker bench fixture up to k = 8; larger `k·n`
-/// products fall back to the row-recount path, which is cheapest exactly
-/// when `k` is large (rows hold `~m/k²` observations).
+/// Default memory budget for the optional triple-count tensor
+/// (`n·(n−1)/2 · k³ · n` u16 counters), overridable per model via
+/// `ModelConfig::triple_tensor_max_bytes`. 32 MB covers the paper's
+/// C1/C2 settings and the 40-ticker bench fixture up to k = 8; larger
+/// `k·n` products (measured crossover: n = 128 at k = 3 wants 56 MB)
+/// fall back to the row-recount path, which is cheapest exactly when
+/// `k` is large (rows hold `~m/k²` observations).
 const TRIPLE_TENSOR_MAX_BYTES: usize = 32 << 20;
+
+/// Size and layout of a model's live incremental counting state — see
+/// `AssociationModel::incremental_stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Whether the pass-2 numerators are maintained through the
+    /// triple-count tensor (`true`) or the per-slide row-recount fallback
+    /// (`false`).
+    pub uses_triple_tensor: bool,
+    /// Bytes held by the triple-count tensor (0 on the fallback path).
+    pub triple_tensor_bytes: usize,
+    /// Bytes held by the tensor's cached per-`(pair, row, head)` maxima.
+    pub row_max_bytes: usize,
+    /// Bytes held by the pass-1 joint-count tensor.
+    pub pair_counts_bytes: usize,
+    /// Bytes held by the pass-2 numerators `S₂`.
+    pub s2_bytes: usize,
+}
 
 /// Persistent sliding-window counting state (see the module docs).
 #[derive(Debug, Clone)]
@@ -185,103 +205,110 @@ impl IncrementalState {
             }
         }
 
+        // Pass-1 joint counts, pass-2 numerators, and (in budget) the
+        // triple-count tensor are all built **per pair**, so the whole
+        // state build fans out over pair blocks claimed off the
+        // work-stealing harness: each worker counting-sorts its pairs'
+        // observations into a thread-local `PairBuckets` once, reads the
+        // joint counts straight off the bucket lengths, and fills
+        // chunk-local tensors that concatenate (in block order —
+        // deterministic at every thread count) into the persistent state.
+        // Chunk-local tensor allocation also bounds the build's working
+        // set: the full tensor is reserved once and filled by copy, never
+        // allocated alongside a second zeroed copy.
         let npairs = n * (n - 1) / 2;
-        let mut pair_counts = vec![0u32; npairs * k * k];
-        let mut p = 0usize;
-        for i in 0..n {
-            let ci = db.column(AttrId::new(i as u32));
-            for j in (i + 1)..n {
-                let cj = db.column(AttrId::new(j as u32));
-                let base = p * k * k;
-                for (&va, &vb) in ci.iter().zip(cj) {
-                    pair_counts[base + (va as usize - 1) * k + (vb as usize - 1)] += 1;
-                }
-                p += 1;
-            }
-        }
-
-        // Pass-2 numerators. With the triple tensor in budget, build it
-        // once (pair-bucketed counting sort, then one histogram bump per
-        // (observation, pair, head)) and derive the numerators from it;
-        // otherwise run the batch observation-major kernels, parallel
-        // over pairs (uniform per-pair cost: contiguous chunks).
+        let k2 = k * k;
         let want_hyper = cfg.with_hyperedges && n >= 3;
+        let budget = cfg
+            .triple_tensor_max_bytes
+            .unwrap_or(TRIPLE_TENSOR_MAX_BYTES);
         let tensor_bytes = npairs
-            .saturating_mul(k * k)
+            .saturating_mul(k2)
             .saturating_mul(n)
             .saturating_mul(k)
             .saturating_mul(2);
-        let mut triple = Vec::new();
-        let mut row_max = Vec::new();
-        let s2 = if want_hyper
-            && tensor_bytes <= TRIPLE_TENSOR_MAX_BYTES
-            && m <= u16::MAX as usize
-        {
-            let k2 = k * k;
-            triple = vec![0u16; npairs * k2 * n * k];
-            row_max = vec![0u16; npairs * k2 * n];
-            let mut s2 = vec![0u32; npairs * n];
+        let use_tensor = want_hyper && tensor_bytes <= budget && m <= u16::MAX as usize;
+
+        // The batch counting engine only backs the row-recount fallback's
+        // numerator build; the tensor path derives everything from the
+        // buckets and the code matrix.
+        let engine = (want_hyper && !use_tensor).then(|| CountingEngine::new(db));
+
+        struct PairChunk {
+            pair_counts: Vec<u32>,
+            triple: Vec<u16>,
+            row_max: Vec<u16>,
+            s2: Vec<u32>,
+        }
+
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(npairs);
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                pairs.push((i, j));
+            }
+        }
+        let threads = cfg.effective_threads();
+        let block = pairs.len().div_ceil(threads * 8).max(1);
+        let (engine, obs_ref) = (engine.as_ref(), &obs);
+        let chunks: Vec<PairChunk> = parallel_blocks(&pairs, threads, block, || {
             let mut buckets = PairBuckets::new();
-            let mut p = 0usize;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    buckets.rebuild(db, AttrId::new(i as u32), AttrId::new(j as u32));
+            let mut counter = HeadCounter::new(n, db.k());
+            move |slice: &[(u32, u32)]| {
+                let mut out = PairChunk {
+                    pair_counts: vec![0u32; slice.len() * k2],
+                    triple: vec![0u16; if use_tensor { slice.len() * k2 * n * k } else { 0 }],
+                    row_max: vec![0u16; if use_tensor { slice.len() * k2 * n } else { 0 }],
+                    s2: vec![0u32; if want_hyper { slice.len() * n } else { 0 }],
+                };
+                for (p, &(i, j)) in slice.iter().enumerate() {
+                    let (a, b) = (AttrId::new(i), AttrId::new(j));
+                    let (i, j) = (i as usize, j as usize);
+                    buckets.rebuild(db, a, b);
                     for r in 0..k2 {
-                        let row_base = (p * k2 + r) * n * k;
-                        for &o in buckets.row(r) {
-                            for (h, &v) in obs.row(o as usize).iter().enumerate() {
-                                triple[row_base + h * k + (v as usize - 1)] += 1;
-                            }
-                        }
-                        for h in 0..n {
-                            let cells = &triple[row_base + h * k..row_base + (h + 1) * k];
-                            let best = cells.iter().copied().max().unwrap_or(0);
-                            row_max[(p * k2 + r) * n + h] = best;
-                            if h != i && h != j {
-                                s2[p * n + h] += best as u32;
-                            }
-                        }
+                        out.pair_counts[p * k2 + r] = buckets.row(r).len() as u32;
                     }
-                    p += 1;
-                }
-            }
-            s2
-        } else if want_hyper {
-            let engine = CountingEngine::new(db);
-            let mut pairs: Vec<(AttrId, AttrId)> = Vec::with_capacity(npairs);
-            for i in 0..n as u32 {
-                for j in (i + 1)..n as u32 {
-                    pairs.push((AttrId::new(i), AttrId::new(j)));
-                }
-            }
-            let engine = &engine;
-            let chunks: Vec<Vec<u32>> =
-                parallel_chunks(&pairs, cfg.effective_threads(), |slice| {
-                    let mut counter = HeadCounter::new(n, db.k());
-                    let mut buckets = PairBuckets::new();
-                    let mut out = Vec::with_capacity(slice.len() * n);
-                    for &(a, b) in slice {
-                        engine.bucket_pair(a, b, &mut buckets);
+                    if use_tensor {
+                        for r in 0..k2 {
+                            let row_base = (p * k2 + r) * n * k;
+                            for &o in buckets.row(r) {
+                                for (h, &v) in obs_ref.row(o as usize).iter().enumerate() {
+                                    out.triple[row_base + h * k + (v as usize - 1)] += 1;
+                                }
+                            }
+                            for h in 0..n {
+                                let cells =
+                                    &out.triple[row_base + h * k..row_base + (h + 1) * k];
+                                let best = cells.iter().copied().max().unwrap_or(0);
+                                out.row_max[(p * k2 + r) * n + h] = best;
+                                if h != i && h != j {
+                                    out.s2[p * n + h] += best as u32;
+                                }
+                            }
+                        }
+                    } else if let Some(engine) = engine {
                         engine.hyper_acv_all_heads(&buckets, &mut counter);
-                        for h in 0..n as u32 {
-                            let h = AttrId::new(h);
-                            out.push(if h == a || h == b {
+                        for h in 0..n {
+                            out.s2[p * n + h] = if h == i || h == j {
                                 0
                             } else {
-                                counter.total(h) as u32
-                            });
+                                counter.total(AttrId::new(h as u32)) as u32
+                            };
                         }
                     }
-                    out
-                });
-            let mut s2 = Vec::with_capacity(npairs * n);
-            for chunk in chunks {
-                s2.extend(chunk);
+                }
+                out
             }
-            s2
-        } else {
-            Vec::new()
-        };
+        });
+        let mut pair_counts = Vec::with_capacity(npairs * k2);
+        let mut triple = Vec::with_capacity(if use_tensor { npairs * k2 * n * k } else { 0 });
+        let mut row_max = Vec::with_capacity(if use_tensor { npairs * k2 * n } else { 0 });
+        let mut s2 = Vec::with_capacity(if want_hyper { npairs * n } else { 0 });
+        for c in chunks {
+            pair_counts.extend_from_slice(&c.pair_counts);
+            triple.extend_from_slice(&c.triple);
+            row_max.extend_from_slice(&c.row_max);
+            s2.extend_from_slice(&c.s2);
+        }
 
         Ok(IncrementalState {
             window,
@@ -303,30 +330,102 @@ impl IncrementalState {
         })
     }
 
-    /// Slides the window by one observation and updates `model` in place
-    /// to the exact batch-rebuild state. Infallible after input
-    /// validation — a returned error means nothing changed.
-    pub(crate) fn advance(
+    /// Size and layout of this state (see
+    /// `AssociationModel::incremental_stats`).
+    pub(crate) fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            uses_triple_tensor: !self.triple.is_empty(),
+            triple_tensor_bytes: self.triple.len() * 2,
+            row_max_bytes: self.row_max.len() * 2,
+            pair_counts_bytes: self.pair_counts.len() * 4,
+            s2_bytes: self.s2.len() * 4,
+        }
+    }
+
+    /// Slides the window by `rows.len()` observations (oldest first) and
+    /// updates `model` in place to the exact batch-rebuild state of the
+    /// final window. The per-slide count maintenance (ring, indexes,
+    /// value counts, pair tensors) runs once per observation, but the
+    /// expensive tail — the exact pass-1 recompute, the γ re-test sweep
+    /// over the accumulated dirty bits, and the single `splice_edges`
+    /// diff — runs **once for the whole batch**, which is what makes a
+    /// `d`-day advance markedly cheaper than `d` single slides while
+    /// staying bit-identical to them. All rows are validated up front —
+    /// a returned error means nothing changed.
+    pub(crate) fn advance_many(
         &mut self,
         model: &mut AssociationModel,
-        new_obs: &[Value],
+        rows: &[&[Value]],
     ) -> Result<(), AdvanceError> {
         let n = self.window.num_attrs();
         let k = self.window.k() as usize;
-        if new_obs.len() != n {
-            return Err(AdvanceError::ArityMismatch {
-                expected: n,
-                got: new_obs.len(),
-            });
-        }
-        for (attr, &v) in new_obs.iter().enumerate() {
-            if v == 0 || v as usize > k {
-                return Err(AdvanceError::ValueOutOfRange { attr, value: v });
+        for new_obs in rows {
+            if new_obs.len() != n {
+                return Err(AdvanceError::ArityMismatch {
+                    expected: n,
+                    got: new_obs.len(),
+                });
+            }
+            for (attr, &v) in new_obs.iter().enumerate() {
+                if v == 0 || v as usize > k {
+                    return Err(AdvanceError::ValueOutOfRange { attr, value: v });
+                }
             }
         }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let m_before = self.window.num_obs();
+        // The S₂ dirty bits accumulate across the whole batch; one clear.
+        if !self.s2.is_empty() {
+            self.s2_dirty.clear();
+            self.s2_dirty.resize((n * (n - 1) / 2) * n.div_ceil(64), 0);
+        }
+        if self.triple.is_empty() {
+            // Row-recount fallback: the per-slide recounts read the
+            // evolving post-slide index state, so pair updates must run
+            // slide by slide.
+            for &new_obs in rows {
+                let retiring = self.slide_window_state(model, new_obs);
+                self.update_pairs(retiring, new_obs);
+            }
+        } else {
+            // Tensor path: a pair's update depends only on the
+            // (retired, appended) row values, so the batch runs
+            // **pair-outer** — every slide's cell pokes for one pair land
+            // while its tensor region is cache-hot, instead of walking
+            // the whole multi-megabyte tensor once per slide.
+            let mut steps: Vec<(Option<Vec<Value>>, &[Value])> = Vec::with_capacity(rows.len());
+            for &new_obs in rows {
+                let retiring = self.slide_window_state(model, new_obs);
+                steps.push((retiring.then(|| self.old_row.clone()), new_obs));
+            }
+            self.update_pairs_batch(&steps);
+        }
+        let m = self.window.num_obs();
 
-        // 1. Slide the ring and the slot-indexed mirrors. Both pair-row
-        // recounts below read the *post-slide* index state.
+        // Baselines, majorities, and the raw pass-1 ACV matrix — exact
+        // recomputes from the maintained integer counts into the model's
+        // own vectors; the dirty bits fall out of comparing against the
+        // model's pre-batch values, so candidates whose inputs net out
+        // unchanged across the batch stay clean.
+        self.recompute_pass1(model, m);
+
+        // γ tests → kept mask diff → graph (weight patches plus one
+        // splice for the whole batch's flipped candidates). `m` is stable
+        // exactly when every slide retired an observation.
+        self.refresh_graph(model, m, m == m_before);
+        Ok(())
+    }
+
+    /// One observation's window maintenance — slides the ring, the
+    /// slot-indexed index/matrix mirrors, the per-attribute value counts,
+    /// and the model's training database — and leaves the retired row (if
+    /// any) in `self.old_row`. Returns whether an observation retired.
+    /// Pair-tensor maintenance is separate (`update_pairs` /
+    /// `update_pairs_batch`).
+    fn slide_window_state(&mut self, model: &mut AssociationModel, new_obs: &[Value]) -> bool {
+        let k = self.window.k() as usize;
         let retiring = self.window.is_full();
         if retiring {
             self.window.read_obs(0, &mut self.old_row);
@@ -334,15 +433,14 @@ impl IncrementalState {
         let slot = self
             .window
             .advance(new_obs)
-            .expect("row was validated above");
+            .expect("row was validated by the caller");
         if retiring {
             self.idx.clear_obs(slot, &self.old_row);
         }
         self.idx.set_obs(slot, new_obs);
         self.obs.set_row(slot, new_obs);
-        let m = self.window.num_obs();
 
-        // 2. Per-attribute value counts (baseline/majority numerators).
+        // Per-attribute value counts (baseline/majority numerators).
         if retiring {
             for (a, &v) in self.old_row.iter().enumerate() {
                 self.value_counts[a * k + (v as usize - 1)] -= 1;
@@ -352,43 +450,25 @@ impl IncrementalState {
             self.value_counts[a * k + (v as usize - 1)] += 1;
         }
 
-        // 3. Pass-1 joint tensor (O(1) per pair) and pass-2 numerators
-        // (one cell update and row-max delta per pair and head, or two
-        // row recounts per pair without the tensor).
-        self.update_pairs(retiring, new_obs);
-
-        // 4. Baselines, majorities, and the raw pass-1 ACV matrix — exact
-        // recomputes from the maintained integer counts into the model's
-        // own vectors.
-        self.recompute_pass1(model, m);
-
-        // 5. γ tests → kept mask diff → graph (weight patches plus one
-        // splice for the flipped candidates). `m` is stable exactly when
-        // the slide retired an observation.
-        self.refresh_graph(model, m, retiring);
-
-        // 6. The training database, slid in place (chronological order).
+        // The training database, slid in place (chronological order).
         if retiring {
             model.db.retire_oldest_obs();
         }
         model
             .db
             .append_obs(new_obs)
-            .expect("row was validated above");
-        Ok(())
+            .expect("row was validated by the caller");
+        retiring
     }
 
-    /// Updates `pair_counts` and `s2` for one slide (see module docs).
+    /// Updates `pair_counts` and `s2` for one slide on the **row-recount
+    /// fallback** path (no tensor; see module docs), accumulating into
+    /// the batch's `s2_dirty` bits. Reads the retired row from
+    /// `self.old_row` and the post-slide index state.
     fn update_pairs(&mut self, retiring: bool, new_obs: &[Value]) {
         let n = self.window.num_attrs();
         let k = self.window.k() as usize;
         let hyper = !self.s2.is_empty();
-        let tensor = !self.triple.is_empty();
-        if hyper {
-            self.s2_dirty.clear();
-            self.s2_dirty
-                .resize((n * (n - 1) / 2) * n.div_ceil(64), 0);
-        }
         let mut p = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
@@ -399,9 +479,7 @@ impl IncrementalState {
                         (self.old_row[i] as usize - 1) * k + (self.old_row[j] as usize - 1);
                     self.pair_counts[base + r_old] -= 1;
                     self.pair_counts[base + r_new] += 1;
-                    if tensor {
-                        self.fold_tensor(p, i, j, r_old, r_new, new_obs);
-                    } else if hyper {
+                    if hyper {
                         if r_old == r_new {
                             self.fold_combined_row(p, i, j, new_obs);
                         } else {
@@ -411,9 +489,7 @@ impl IncrementalState {
                     }
                 } else {
                     self.pair_counts[base + r_new] += 1;
-                    if tensor {
-                        self.fold_tensor_append(p, i, j, r_new, new_obs);
-                    } else if hyper {
+                    if hyper {
                         self.fold_appended_row(p, i, j, new_obs);
                     }
                 }
@@ -422,21 +498,41 @@ impl IncrementalState {
         }
     }
 
-    /// Removes one count from `cells[c]`, returning the exact change of
-    /// the row max (0 or −1) and keeping `*row_max` current. Scans the
-    /// `k` cells only when the decremented cell sat at the max.
-    #[inline]
-    fn cell_dec(cells: &mut [u16], row_max: &mut u16, c: usize) -> i64 {
-        cells[c] -= 1;
-        if cells[c] + 1 == *row_max {
-            if cells.contains(row_max) {
-                0
-            } else {
-                *row_max -= 1;
-                -1
+    /// Updates `pair_counts` and `s2` through the triple-count tensor for
+    /// a whole batch of slides, **pair-outer**: for each pair, every
+    /// slide's `(retired, appended)` cell pokes are applied in order
+    /// while that pair's tensor rows are cache-hot. One slide touches two
+    /// of a pair's rows; a d-slide batch therefore streams the tensor
+    /// once instead of d times, which is where the batched advance's
+    /// per-observation saving comes from (the tensor is the only
+    /// multi-megabyte structure a slide walks). Cell updates are exact
+    /// integer increments/decrements, so reordering across pairs cannot
+    /// change any count.
+    fn update_pairs_batch(&mut self, steps: &[(Option<Vec<Value>>, &[Value])]) {
+        let n = self.window.num_attrs();
+        let k = self.window.k() as usize;
+        let mut p = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let base = p * k * k;
+                for (old, new_obs) in steps {
+                    let r_new = (new_obs[i] as usize - 1) * k + (new_obs[j] as usize - 1);
+                    match old {
+                        Some(old) => {
+                            let r_old =
+                                (old[i] as usize - 1) * k + (old[j] as usize - 1);
+                            self.pair_counts[base + r_old] -= 1;
+                            self.pair_counts[base + r_new] += 1;
+                            self.fold_tensor(p, i, j, r_old, r_new, old, new_obs);
+                        }
+                        None => {
+                            self.pair_counts[base + r_new] += 1;
+                            self.fold_tensor_append(p, i, j, r_new, new_obs);
+                        }
+                    }
+                }
+                p += 1;
             }
-        } else {
-            0
         }
     }
 
@@ -459,6 +555,7 @@ impl IncrementalState {
     /// exact row-max changes into `S₂`. Tail heads (`i`, `j`) get their
     /// cells updated but no delta (their `row_max` may go stale; it is
     /// never read).
+    #[allow(clippy::too_many_arguments)]
     fn fold_tensor(
         &mut self,
         p: usize,
@@ -466,35 +563,131 @@ impl IncrementalState {
         j: usize,
         r_old: usize,
         r_new: usize,
+        old_row: &[Value],
+        new_obs: &[Value],
+    ) {
+        // Monomorphize the per-head loop on the common domain sizes so
+        // the k-cell max rescans fully unroll (KC = 0 keeps a runtime-k
+        // body for everything else).
+        match self.window.k() {
+            2 => self.fold_tensor_impl::<2>(p, i, j, r_old, r_new, old_row, new_obs),
+            3 => self.fold_tensor_impl::<3>(p, i, j, r_old, r_new, old_row, new_obs),
+            4 => self.fold_tensor_impl::<4>(p, i, j, r_old, r_new, old_row, new_obs),
+            5 => self.fold_tensor_impl::<5>(p, i, j, r_old, r_new, old_row, new_obs),
+            6 => self.fold_tensor_impl::<6>(p, i, j, r_old, r_new, old_row, new_obs),
+            8 => self.fold_tensor_impl::<8>(p, i, j, r_old, r_new, old_row, new_obs),
+            _ => self.fold_tensor_impl::<0>(p, i, j, r_old, r_new, old_row, new_obs),
+        }
+    }
+
+    /// `fold_tensor` body for compile-time `KC == k` (`KC == 0` means
+    /// runtime `k`).
+    #[allow(clippy::too_many_arguments)]
+    fn fold_tensor_impl<const KC: usize>(
+        &mut self,
+        p: usize,
+        i: usize,
+        j: usize,
+        r_old: usize,
+        r_new: usize,
+        old_row: &[Value],
         new_obs: &[Value],
     ) {
         let n = self.window.num_attrs();
-        let k = self.window.k() as usize;
+        let k = if KC > 0 {
+            KC
+        } else {
+            self.window.k() as usize
+        };
         let k2 = k * k;
-        let old_base = (p * k2 + r_old) * n * k;
-        let new_base = (p * k2 + r_new) * n * k;
-        let same_row = r_old == r_new;
-        for (h, &v_new) in new_obs.iter().enumerate() {
-            let cell_old = self.old_row[h] as usize - 1;
-            let cell_new = v_new as usize - 1;
-            if same_row && cell_old == cell_new {
-                continue;
+        let wpb = n.div_ceil(64);
+        // Split borrows once: the per-head loop below is the hottest
+        // scalar loop of a slide (O(n³) cell pokes per slide across all
+        // pairs), so the row regions, max caches, and numerator rows are
+        // hoisted to plain slices iterated in per-head chunks instead of
+        // re-indexing `self` fields per head.
+        let s2_row = &mut self.s2[p * n..(p + 1) * n];
+        let dirty_row = &mut self.s2_dirty[p * wpb..(p + 1) * wpb];
+        if r_old == r_new {
+            let base = (p * k2 + r_old) * n * k;
+            let cells = &mut self.triple[base..base + n * k];
+            let maxes = &mut self.row_max[(p * k2 + r_old) * n..(p * k2 + r_old) * n + n];
+            let heads = cells
+                .chunks_exact_mut(k)
+                .zip(maxes.iter_mut())
+                .zip(old_row.iter().zip(new_obs))
+                .enumerate();
+            for (h, ((hc, max), (&v_old, &v_new))) in heads {
+                let cell_old = v_old as usize - 1;
+                let cell_new = v_new as usize - 1;
+                if cell_old == cell_new {
+                    continue;
+                }
+                hc[cell_old] -= 1;
+                hc[cell_new] += 1;
+                if h == i || h == j {
+                    continue;
+                }
+                // Both pokes hit one row: re-derive its max with a
+                // branch-free k-cell scan (the tensor only exists at
+                // small k, where the unrolled scan is cheaper than the
+                // mispredicted was-it-the-argmax branches it replaces).
+                let mut new_max = 0u16;
+                for &c in hc.iter() {
+                    new_max = new_max.max(c);
+                }
+                let delta = new_max as i64 - *max as i64;
+                *max = new_max;
+                s2_row[h] = (s2_row[h] as i64 + delta) as u32;
+                dirty_row[h / 64] |= u64::from(delta != 0) << (h % 64);
             }
-            if h == i || h == j {
-                self.triple[old_base + h * k + cell_old] -= 1;
-                self.triple[new_base + h * k + cell_new] += 1;
-                continue;
-            }
-            let delta = {
-                let cells = &mut self.triple[old_base + h * k..old_base + (h + 1) * k];
-                let max = &mut self.row_max[(p * k2 + r_old) * n + h];
-                Self::cell_dec(cells, max, cell_old)
-            } + {
-                let cells = &mut self.triple[new_base + h * k..new_base + (h + 1) * k];
-                let max = &mut self.row_max[(p * k2 + r_new) * n + h];
-                Self::cell_inc(cells, max, cell_new)
+        } else {
+            // Distinct rows: split the tensor and max cache so both
+            // regions borrow mutably at once.
+            let (lo_r, hi_r) = (r_old.min(r_new), r_old.max(r_new));
+            let lo_base = (p * k2 + lo_r) * n * k;
+            let hi_base = (p * k2 + hi_r) * n * k;
+            let (head_t, tail_t) = self.triple.split_at_mut(hi_base);
+            let lo_cells = &mut head_t[lo_base..lo_base + n * k];
+            let hi_cells = &mut tail_t[..n * k];
+            let (head_m, tail_m) = self.row_max.split_at_mut((p * k2 + hi_r) * n);
+            let lo_maxes = &mut head_m[(p * k2 + lo_r) * n..(p * k2 + lo_r) * n + n];
+            let hi_maxes = &mut tail_m[..n];
+            let (old_cells, old_maxes, new_cells, new_maxes) = if r_old == lo_r {
+                (lo_cells, lo_maxes, hi_cells, hi_maxes)
+            } else {
+                (hi_cells, hi_maxes, lo_cells, lo_maxes)
             };
-            self.apply_delta(p, h, delta);
+            let heads = old_cells
+                .chunks_exact_mut(k)
+                .zip(new_cells.chunks_exact_mut(k))
+                .zip(old_maxes.iter_mut().zip(new_maxes.iter_mut()))
+                .zip(old_row.iter().zip(new_obs))
+                .enumerate();
+            for (h, (((old_hc, new_hc), (old_max, new_max)), (&v_old, &v_new))) in heads {
+                let cell_old = v_old as usize - 1;
+                let cell_new = v_new as usize - 1;
+                old_hc[cell_old] -= 1;
+                new_hc[cell_new] += 1;
+                if h == i || h == j {
+                    continue;
+                }
+                // Decremented row: branch-free k-cell max rescan (see the
+                // same-row arm). Incremented row: the max can only grow
+                // by becoming the bumped cell — no scan needed.
+                let mut old_new_max = 0u16;
+                for &c in old_hc.iter() {
+                    old_new_max = old_new_max.max(c);
+                }
+                let delta_old = old_new_max as i64 - *old_max as i64;
+                *old_max = old_new_max;
+                let c = new_hc[cell_new];
+                let delta_new = i64::from(c > *new_max);
+                *new_max = (*new_max).max(c);
+                let delta = delta_old + delta_new;
+                s2_row[h] = (s2_row[h] as i64 + delta) as u32;
+                dirty_row[h / 64] |= u64::from(delta != 0) << (h % 64);
+            }
         }
     }
 

@@ -54,7 +54,7 @@ pub use classifier::{
 pub use config::{CountStrategy, ModelConfig};
 pub use counting::{CountingEngine, HeadCounter, PairRows};
 pub use euclid::euclidean_similarity;
-pub use incremental::AdvanceError;
+pub use incremental::{AdvanceError, IncrementalStats};
 pub use leading::{
     dominating_adaptation, is_dominator, set_cover_adaptation, DominatorResult, SetCoverOptions,
     StopRule,

@@ -201,6 +201,35 @@ impl AssociationModel {
     /// part of the mining configuration); re-apply the filter afterwards
     /// if needed.
     pub fn advance(&mut self, new_obs: &[Value]) -> Result<(), AdvanceError> {
+        self.advance_rows(&[new_obs])
+    }
+
+    /// Slides the model's observation window `obs.len()` steps forward in
+    /// one batch (oldest row first), producing **exactly** the model `d`
+    /// sequential [`AssociationModel::advance`] calls would — bit for bit
+    /// — at a fraction of their cost: the per-observation count
+    /// maintenance still runs per row, but the γ re-test sweep, the
+    /// kept-mask diff, and the single `splice_edges` call amortize over
+    /// the whole batch (the dirty bits accumulate across rows and are
+    /// resolved once against the batch's net changes). The win is largest
+    /// exactly where single slides are weakest — small `k`, where a
+    /// slide's fixed re-test cost dominates — e.g. multi-day catch-ups
+    /// over a weekend or a backfill of a few calendar days.
+    ///
+    /// All rows are validated up front; on an error nothing changes.
+    /// [`AssociationModel::epoch`] advances by `obs.len()`.
+    pub fn advance_batch(&mut self, obs: &[Vec<Value>]) -> Result<(), AdvanceError> {
+        let rows: Vec<&[Value]> = obs.iter().map(Vec::as_slice).collect();
+        self.advance_rows(&rows)
+    }
+
+    /// Shared advance machinery: lazily builds the incremental state and
+    /// applies one batch of slides through it.
+    fn advance_rows(&mut self, rows: &[&[Value]]) -> Result<(), AdvanceError> {
+        if rows.is_empty() {
+            // A no-op either way; don't pay the state build for it.
+            return Ok(());
+        }
         let mut state = match self.incremental.take() {
             Some(state) => state,
             None => Box::new(crate::incremental::IncrementalState::new(
@@ -210,17 +239,28 @@ impl AssociationModel {
         // The state validates before mutating anything, so on a rejected
         // row it is unchanged — keep it either way (rebuilding it costs
         // a few batch builds).
-        let result = state.advance(self, new_obs);
+        let result = state.advance_many(self, rows);
         self.incremental = Some(state);
         result?;
-        self.epoch += 1;
+        self.epoch += rows.len() as u64;
         Ok(())
     }
 
-    /// Number of [`AssociationModel::advance`] slides applied since the
-    /// batch build (0 for a fresh build).
+    /// Number of observations [`AssociationModel::advance`] /
+    /// [`AssociationModel::advance_batch`] slid past since the batch
+    /// build (0 for a fresh build).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Size and layout of the live incremental counting state: `None`
+    /// until the first advance built it, then whether the triple-count
+    /// tensor is in use and how many bytes each maintained tensor holds
+    /// (`perf_summary` reports these next to the slide latencies; capacity
+    /// planning for wide streams reads them to see which side of the
+    /// tensor budget a configuration landed on).
+    pub fn incremental_stats(&self) -> Option<crate::incremental::IncrementalStats> {
+        self.incremental.as_ref().map(|s| s.stats())
     }
 
     /// The configuration the model was built under.

@@ -14,6 +14,10 @@
 //! - [`ObsMatrix`]: the row-major `m × n` transpose backing the
 //!   observation-major counting strategy (stream each observation once,
 //!   count all heads simultaneously);
+//! - [`SlotMatrix`]: the precomputed counter-slot lanes
+//!   (`head·stride + value − 1` as contiguous u16 stripes, stride = `k`
+//!   padded to a multiple of four) that flatten the observation-major
+//!   bump loops into plain `counts[slot] += 1` over contiguous lanes;
 //! - [`PairBuckets`]: obs ids grouped by `(v_a, v_b)` row via one
 //!   counting-sort pass — the PairRows-free input of the observation-major
 //!   pair sweep;
@@ -58,7 +62,7 @@ mod windowed;
 
 pub use bitmap::ValueIndex;
 pub use database::{AttrId, Database, DatabaseError, Value};
-pub use obs_matrix::{ObsMatrix, PairBuckets};
+pub use obs_matrix::{ObsMatrix, PairBuckets, SlotMatrix};
 pub use delta::{delta_matrix, delta_series, try_delta_matrix, try_delta_series, DeltaError};
 pub use support::{confidence, support, support_count, Pattern};
 pub use windowed::WindowedDatabase;

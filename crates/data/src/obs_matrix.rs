@@ -8,13 +8,23 @@
 //! byte matrix whose row `o` holds observation `o`'s value for every
 //! attribute, so one sweep touches `n` contiguous bytes per observation.
 //!
-//! [`PairBuckets`] complements it for the pair pass: the observation-major
-//! sweep over a tail pair `{a, b}` only needs to know *which* observations
-//! fall into each `(v_a, v_b)` row, not the row bitsets themselves.
-//! One counting-sort pass over the two value columns groups the `m` obs
-//! ids by row into a reusable CSR layout — `O(m + k²)` with no per-pair
-//! allocation once the scratch is warm, versus the `k²` bitset
-//! intersections (`k²·m/64` words) of a `PairRows` build.
+//! [`SlotMatrix`] precomputes the counting sweeps' *addressing* on top of
+//! that transpose: the multi-head bump loop increments
+//! `counts[head · stride + (value − 1)]`, and since that slot index
+//! depends only on `(head, value)` — never on the swept tail — it can be
+//! materialized once per database as an `m × n` matrix of `u16` lanes.
+//! The inner loop then reads one contiguous u16 stripe per observation
+//! and increments `counts[slot]` directly: no per-head multiply, no byte
+//! widening, no segment branches, which is what lets the hot pass-2 loop
+//! run several observations' stripes in lockstep.
+//!
+//! [`PairBuckets`] complements both for the pair pass: the
+//! observation-major sweep over a tail pair `{a, b}` only needs to know
+//! *which* observations fall into each `(v_a, v_b)` row, not the row
+//! bitsets themselves. One counting-sort pass over the two value columns
+//! groups the `m` obs ids by row into a reusable CSR layout — `O(m + k²)`
+//! with no per-pair allocation once the scratch is warm, versus the `k²`
+//! bitset intersections (`k²·m/64` words) of a `PairRows` build.
 
 use crate::database::{AttrId, Database, Value};
 
@@ -84,6 +94,99 @@ impl ObsMatrix {
     #[inline]
     pub fn row(&self, o: usize) -> &[Value] {
         &self.codes[o * self.num_attrs..(o + 1) * self.num_attrs]
+    }
+}
+
+/// Row-major `m × n` matrix of precomputed counter-slot indices:
+/// `row(o)[h]` is `h · stride + (value(h, o) − 1)`, the slot the
+/// multi-head bump loop increments for head `h` of observation `o`,
+/// where `stride` is `k` rounded up to a multiple of four
+/// ([`SlotMatrix::counter_stride`]) so every head's counter chunk is
+/// 8-byte aligned and the fold's per-head max reduction runs over even
+/// vector lanes at every `k` (the padding lanes are never bumped and
+/// stay zero).
+///
+/// Slots are `u16` lanes, so the matrix only exists for
+/// `n · stride ≤ 65536` ([`SlotMatrix::build`] returns `None` beyond
+/// that and counting falls back to computing slots on the fly); within
+/// the limit every counting sweep reads one contiguous u16 stripe per
+/// observation instead of widening bytes and multiplying per head.
+#[derive(Debug, Clone)]
+pub struct SlotMatrix {
+    num_attrs: usize,
+    num_obs: usize,
+    k: usize,
+    /// Layout: `slots[o * num_attrs + h] = h·stride + (value − 1)`.
+    slots: Vec<u16>,
+}
+
+impl SlotMatrix {
+    /// The largest `n · stride` product whose slots fit the u16 lanes.
+    pub const MAX_SLOTS: usize = u16::MAX as usize + 1;
+
+    /// The counter-array stride per head for domain size `k`: `k` rounded
+    /// up to a multiple of four u16 lanes (8 bytes), shared between the
+    /// slot values stored here and the counter arrays indexed by them.
+    #[inline]
+    pub fn counter_stride(k: usize) -> usize {
+        k.div_ceil(4) * 4
+    }
+
+    /// Builds the slot matrix in one pass over the database's columns, or
+    /// `None` when `n · stride` exceeds [`SlotMatrix::MAX_SLOTS`].
+    pub fn build(db: &Database) -> Option<Self> {
+        let num_attrs = db.num_attrs();
+        let num_obs = db.num_obs();
+        let k = db.k() as usize;
+        let stride = Self::counter_stride(k);
+        if num_attrs * stride > Self::MAX_SLOTS {
+            return None;
+        }
+        let mut slots = vec![0u16; num_attrs * num_obs];
+        for a in db.attrs() {
+            let ai = a.index();
+            let base = (ai * stride) as u16;
+            for (o, &v) in db.column(a).iter().enumerate() {
+                slots[o * num_attrs + ai] = base + (v as u16 - 1);
+            }
+        }
+        Some(SlotMatrix {
+            num_attrs,
+            num_obs,
+            k,
+            slots,
+        })
+    }
+
+    /// Number of attributes `n` (row width).
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Number of observations `m` (row count).
+    #[inline]
+    pub fn num_obs(&self) -> usize {
+        self.num_obs
+    }
+
+    /// The value-domain size `k` the slots were computed for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observation `o`'s slot stripe, one u16 per attribute.
+    #[inline]
+    pub fn row(&self, o: usize) -> &[u16] {
+        &self.slots[o * self.num_attrs..(o + 1) * self.num_attrs]
+    }
+
+    /// The sub-stripe of observation `o` covering heads `h0..h1` (the
+    /// input of one head-tile bump pass).
+    #[inline]
+    pub fn stripe(&self, o: usize, h0: usize, h1: usize) -> &[u16] {
+        &self.slots[o * self.num_attrs + h0..o * self.num_attrs + h1]
     }
 }
 
@@ -266,6 +369,50 @@ mod tests {
 
     fn a(i: u32) -> AttrId {
         AttrId::new(i)
+    }
+
+    #[test]
+    fn slot_matrix_points_at_padded_counter_slots() {
+        let db = Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[[1, 2, 3], [3, 1, 2], [2, 2, 1]],
+        )
+        .unwrap();
+        let m = SlotMatrix::build(&db).expect("3 attrs x stride 4 fits");
+        assert_eq!((m.num_attrs(), m.num_obs(), m.k()), (3, 3, 3));
+        let stride = SlotMatrix::counter_stride(3);
+        assert_eq!(stride, 4);
+        for o in 0..db.num_obs() {
+            for h in db.attrs() {
+                let slot = m.row(o)[h.index()] as usize;
+                assert_eq!(
+                    slot,
+                    h.index() * stride + db.value(h, o) as usize - 1,
+                    "obs {o}, head {h:?}"
+                );
+            }
+            // Stripes are sub-slices of the row.
+            assert_eq!(m.stripe(o, 1, 3), &m.row(o)[1..3]);
+        }
+    }
+
+    #[test]
+    fn slot_matrix_declines_past_the_u16_slot_range() {
+        // 16385 attrs x stride 4 (k = 3) = 65540 > 65536; one fewer fits.
+        let wide = |n: usize| {
+            Database::from_columns(
+                (0..n).map(|i| format!("A{i}")).collect(),
+                3,
+                vec![vec![1, 2]; n],
+            )
+            .unwrap()
+        };
+        assert!(SlotMatrix::build(&wide(16385)).is_none());
+        assert!(SlotMatrix::build(&wide(16384)).is_some());
+        assert_eq!(SlotMatrix::counter_stride(255), 256);
+        assert_eq!(SlotMatrix::counter_stride(8), 8);
+        assert_eq!(SlotMatrix::counter_stride(5), 8);
     }
 
     #[test]

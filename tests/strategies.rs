@@ -184,6 +184,136 @@ fn all_constant_columns_are_bit_identical_across_strategies() {
     }
 }
 
+/// Wide-attribute fixture: n = 128 (every earlier suite stopped at
+/// n ≈ 40), deterministic mixed-correlation columns with a handful of
+/// constant ones. The whole strategy × thread matrix — and therefore the
+/// blocked flat u16 kernels the observation-major path takes at this
+/// width — must agree bit for bit. Gammas are raised so the kept-edge
+/// set stays small enough for a debug-mode run; the counting sweeps
+/// still evaluate every one of the ~1M (pair, head) candidates.
+#[test]
+fn wide_attribute_fixture_is_bit_identical_across_strategies() {
+    let n_attrs = 128usize;
+    let n_obs = 40usize;
+    let k = 3u8;
+    let cols: Vec<Vec<u8>> = (0..n_attrs)
+        .map(|a| {
+            (0..n_obs)
+                .map(|o| match a % 5 {
+                    // A correlated family, shifted copies, a constant
+                    // column, and two pseudo-random stripes.
+                    0 => (o % 3 + 1) as u8,
+                    1 => ((o + a / 5) % 3 + 1) as u8,
+                    2 => 2u8,
+                    3 => ((o * 7 + a * 13) % 3 + 1) as u8,
+                    _ => ((o / 2 + a) % 3 + 1) as u8,
+                })
+                .collect()
+        })
+        .collect();
+    let db = Database::from_columns(
+        (0..n_attrs).map(|i| format!("A{i}")).collect(),
+        k,
+        cols,
+    )
+    .unwrap();
+    let cfg = |strategy, threads| ModelConfig {
+        strategy,
+        threads,
+        gamma_edge: 1.3,
+        gamma_hyper: 1.25,
+        ..ModelConfig::default()
+    };
+    let reference =
+        AssociationModel::build(&db, &cfg(CountStrategy::Bitset, 1)).unwrap();
+    assert!(
+        reference.hypergraph().num_edges() > 0,
+        "fixture keeps some edges"
+    );
+    for (strategy, threads) in [
+        (CountStrategy::ObsMajor, 1),
+        (CountStrategy::ObsMajor, 3),
+        (CountStrategy::Auto, 1),
+        (CountStrategy::Auto, 3),
+    ] {
+        let m = AssociationModel::build(&db, &cfg(strategy, threads)).unwrap();
+        assert_identical(
+            &m,
+            &reference,
+            &format!("n=128 {strategy:?} x{threads} vs Bitset x1"),
+        );
+    }
+}
+
+/// Beyond one head tile: at `n · stride > 8192` counter lanes the flat
+/// dense bump runs blocked over several head tiles. A thin database with
+/// thousands of attributes exercises the multi-tile path cheaply; every
+/// ACV must still match the naive recount.
+#[test]
+fn multi_tile_flat_sweeps_match_naive() {
+    let n_attrs = 2400usize; // stride 4 at k=3 -> 9600 lanes, two tiles
+    let n_obs = 18usize;
+    let k = 3u8;
+    // Even columns are constant: any pair over two of them puts all 18
+    // observations into one (v_a, v_b) row — deep past the exact small-c
+    // folds, so the blocked flat bump walks every head tile. Odd columns
+    // vary, covering mixed-density rows.
+    let cols: Vec<Vec<u8>> = (0..n_attrs)
+        .map(|a| {
+            (0..n_obs)
+                .map(|o| {
+                    if a % 2 == 0 {
+                        (a % 3 + 1) as u8
+                    } else {
+                        ((o * 7 + a) % 3 + 1) as u8
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let db = Database::from_columns(
+        (0..n_attrs).map(|i| format!("A{i}")).collect(),
+        k,
+        cols,
+    )
+    .unwrap();
+    let engine = CountingEngine::new(&db);
+    let mut counter = HeadCounter::new(db.num_attrs(), db.k());
+    let mut buckets = PairBuckets::new();
+    // A handful of pairs and tails is enough — each sweep crosses every
+    // tile boundary for every dense row.
+    let probe: Vec<u32> = vec![0, 1, 1199, 2399];
+    for &t in &probe {
+        let t = AttrId::new(t);
+        engine.edge_acv_all_heads(t, &mut counter);
+        for &h in &[7u32, 1200, 2398] {
+            let h = AttrId::new(h);
+            if h == t {
+                continue;
+            }
+            let naive = engine.naive_table(&[t], h).acv();
+            assert_eq!(counter.acv(h).to_bits(), naive.to_bits(), "{t:?} -> {h:?}");
+        }
+    }
+    for (a, b) in [(0u32, 2u32), (0, 1), (5, 2398), (1199, 1200)] {
+        let (a, b) = (AttrId::new(a), AttrId::new(b));
+        engine.bucket_pair(a, b, &mut buckets);
+        engine.hyper_acv_all_heads(&buckets, &mut counter);
+        for &h in &[3u32, 1201, 2397] {
+            let h = AttrId::new(h);
+            if h == a || h == b {
+                continue;
+            }
+            let naive = engine.naive_table(&[a, b], h).acv();
+            assert_eq!(
+                counter.acv(h).to_bits(),
+                naive.to_bits(),
+                "({a:?},{b:?}) -> {h:?}"
+            );
+        }
+    }
+}
+
 /// Pass-1 parallelization regression: directed-edge ids must be assigned in
 /// the same tail-major order at every thread count (pass 2 was already
 /// parallel; pass 1 newly runs through the same chunking harness).

@@ -79,6 +79,39 @@ fn db_from(rows: &[Vec<Value>], k: u8) -> Database {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// `advance_batch(d)` produces exactly the model `d` sequential
+    /// `advance` calls do — same edge ids, bit-identical ACVs, same
+    /// epoch — for every batch size that divides the stream, on both
+    /// the triple-tensor and (via the `Some(0)` budget override) the
+    /// row-recount fallback paths.
+    #[test]
+    fn advance_batch_is_bit_identical_to_sequential_advances(
+        (stream, window, k) in stream_with_k(),
+        d in 2usize..=4,
+        fallback_sel in 0usize..2,
+    ) {
+        let force_fallback = fallback_sel == 1;
+        let full = db_from(&stream, k);
+        let cfg = ModelConfig {
+            threads: 1,
+            triple_tensor_max_bytes: force_fallback.then_some(0),
+            ..ModelConfig::default()
+        };
+        let mut sequential = AssociationModel::build(&full.slice_obs(0..window), &cfg).unwrap();
+        let mut batched = sequential.clone();
+        let tail: Vec<Vec<Value>> = stream[window..].to_vec();
+        for chunk in tail.chunks(d) {
+            for row in chunk {
+                sequential.advance(row).unwrap();
+            }
+            batched.advance_batch(chunk).unwrap();
+            assert_identical(&batched, &sequential, &format!("after chunk of {}", chunk.len()));
+            prop_assert_eq!(batched.epoch(), sequential.epoch());
+        }
+        let stats = batched.incremental_stats().expect("state built");
+        prop_assert_eq!(stats.uses_triple_tensor, !force_fallback);
+    }
+
     /// Sliding a model with `advance` equals rebuilding from scratch on
     /// the slid window, for every batch strategy × thread combination,
     /// at every step.
@@ -197,6 +230,142 @@ fn tables_after_advance_match_batch_tables() {
     for (id, _) in batch.hypergraph().edges() {
         assert_eq!(mt.table(id), bt.table(id), "table of {id}");
     }
+}
+
+/// Wide-attribute streaming: at n = 128, k = 3 the triple tensor wants
+/// ~56 MB and the default 32 MB budget forces the **row-recount
+/// fallback** (the ROADMAP's untested n ≫ 100 crossover). Both single
+/// and batched advances on that path must stay bit-identical to batch
+/// rebuilds of the slid window.
+#[test]
+fn wide_attribute_stream_uses_fallback_and_stays_identical() {
+    let n = 128usize;
+    let k = 3u8;
+    let window = 36usize;
+    let len = window + 8;
+    let rows: Vec<Vec<Value>> = (0..len)
+        .map(|o| {
+            (0..n)
+                .map(|a| match a % 4 {
+                    0 => (o % 3 + 1) as Value,
+                    1 => ((o + a / 4) % 3 + 1) as Value,
+                    2 => (((o * 5 + a * 11) / 2) % 3 + 1) as Value,
+                    _ => ((o / 3 + a) % 3 + 1) as Value,
+                })
+                .collect()
+        })
+        .collect();
+    let full = db_from(&rows, k);
+    let cfg = ModelConfig {
+        threads: 1,
+        gamma_edge: 1.3,
+        gamma_hyper: 1.25,
+        ..ModelConfig::default()
+    };
+    // Single advances for the first half of the stream…
+    let mut model = AssociationModel::build(&full.slice_obs(0..window), &cfg).unwrap();
+    for step in 0..4 {
+        model.advance(&rows[window + step]).unwrap();
+    }
+    let stats = model.incremental_stats().expect("state built");
+    assert!(
+        !stats.uses_triple_tensor,
+        "n = 128 must exceed the default tensor budget"
+    );
+    assert_eq!(stats.triple_tensor_bytes, 0);
+    assert!(stats.s2_bytes > 0);
+    let batch = AssociationModel::build(&full.slice_obs(4..4 + window), &cfg).unwrap();
+    assert_identical(&model, &batch, "n=128 fallback after 4 single advances");
+    // …one advance_batch for the second half.
+    model.advance_batch(&rows[window + 4..]).unwrap();
+    let batch = AssociationModel::build(&full.slice_obs(8..8 + window), &cfg).unwrap();
+    assert_identical(&model, &batch, "n=128 fallback after advance_batch(4)");
+    assert_eq!(model.epoch(), 8);
+}
+
+/// The `triple_tensor_max_bytes` override steers the engine between the
+/// tensor and row-recount paths on the same fixture, with bit-identical
+/// results either way; `incremental_stats` reports which side ran.
+#[test]
+fn tensor_budget_override_switches_paths_identically() {
+    let k = 4u8;
+    let rows: Vec<Vec<Value>> = (0..30)
+        .map(|o| {
+            vec![
+                (o % 4 + 1) as Value,
+                ((o / 2) % 4 + 1) as Value,
+                ((o * 3 / 2) % 4 + 1) as Value,
+                ((o / 5) % 4 + 1) as Value,
+            ]
+        })
+        .collect();
+    let full = db_from(&rows, k);
+    let window = 20usize;
+    let mut models = Vec::new();
+    for budget in [None, Some(0), Some(usize::MAX)] {
+        let cfg = ModelConfig {
+            threads: 1,
+            triple_tensor_max_bytes: budget,
+            ..ModelConfig::default()
+        };
+        let mut model = AssociationModel::build(&full.slice_obs(0..window), &cfg).unwrap();
+        for row in &rows[window..] {
+            model.advance(row).unwrap();
+        }
+        let stats = model.incremental_stats().expect("state built");
+        // n = 4, k = 4: the tensor costs 6·16·4·4·2 = 3 KB — within the
+        // default budget, excluded by Some(0).
+        assert_eq!(stats.uses_triple_tensor, budget != Some(0), "budget {budget:?}");
+        assert_eq!(stats.triple_tensor_bytes > 0, budget != Some(0));
+        models.push(model);
+    }
+    let batch = AssociationModel::build(
+        &full.slice_obs(10..30),
+        &ModelConfig {
+            threads: 1,
+            ..ModelConfig::default()
+        },
+    )
+    .unwrap();
+    for model in &models {
+        assert_identical(model, &batch, "tensor-budget override");
+    }
+}
+
+/// A bad row anywhere in a batch rejects the whole batch up front: the
+/// model is untouched (no partial slides) and batching resumes cleanly.
+#[test]
+fn rejected_batches_leave_the_model_unchanged() {
+    let k = 3u8;
+    let rows: Vec<Vec<Value>> = (0..26)
+        .map(|o| vec![(o % 3 + 1) as Value, ((o / 2) % 3 + 1) as Value, 1])
+        .collect();
+    let full = db_from(&rows, k);
+    let cfg = ModelConfig::default();
+    let mut model = AssociationModel::build(&full.slice_obs(0..20), &cfg).unwrap();
+    model.advance(&rows[20]).unwrap();
+    let before = model.clone();
+    // Second row of the batch is invalid: arity, then range.
+    assert_eq!(
+        model.advance_batch(&[rows[21].clone(), vec![1, 2]]),
+        Err(AdvanceError::ArityMismatch {
+            expected: 3,
+            got: 2
+        })
+    );
+    assert_eq!(
+        model.advance_batch(&[rows[21].clone(), vec![1, 4, 1]]),
+        Err(AdvanceError::ValueOutOfRange { attr: 1, value: 4 })
+    );
+    assert_eq!(model.epoch(), 1);
+    assert_identical(&model, &before, "after rejected batches");
+    // An empty batch is a no-op, then a valid batch lands.
+    model.advance_batch(&[]).unwrap();
+    assert_eq!(model.epoch(), 1);
+    model.advance_batch(&rows[21..24]).unwrap();
+    assert_eq!(model.epoch(), 4);
+    let batch = AssociationModel::build(&full.slice_obs(4..24), &cfg).unwrap();
+    assert_identical(&model, &batch, "after the recovering batch");
 }
 
 /// Validation errors leave the model untouched and advancing resumes
