@@ -6,14 +6,26 @@
 //! speedup and the live `incremental_stats` tensor bytes), the
 //! **batched advance** latency (`batch-slide` = one
 //! `advance_batch(5)` call at k = 3, gated at ≥ 2× over five single
-//! advances), and the **wide fixture** (240 tickers × 504 days,
+//! advances), the **wide fixture** (240 tickers × 504 days,
 //! observation-major construction at k ∈ {3, 5, 8} — the large-n
-//! regression guard for the blocked flat kernels) — so CI can upload it
-//! as an artifact, and optionally **gates** against a committed
-//! baseline: with `--baseline <path>` the run fails (exit 1) if any
-//! `(k, strategy)` time regresses more than the tolerance over the
-//! baseline's, if the k = 5 slide speedup drops below 10×, or if the
-//! k = 3 batch speedup drops below 2×.
+//! regression guard for the blocked flat kernels), and the **serve
+//! fixture** (aggregate reader queries/sec against live epoch-tagged
+//! snapshots at 1/4/8 reader threads while the writer slides the
+//! window — the `hypermine-serve` concurrency story) — so CI can
+//! upload it as an artifact, and optionally **gates** against a
+//! committed baseline: with `--baseline <path>` the run fails (exit 1)
+//! if any `(k, strategy)` time regresses more than the tolerance over
+//! the baseline's, if the k = 5 slide speedup drops below 10×, if the
+//! k = 3 batch speedup drops below 2×, or if reader throughput fails
+//! to scale from 1 → 8 readers (hardware-aware: ≥ 3× on 8+ cores,
+//! ≥ 2× on 4–7; skipped below 4 cores, where reader threads time-slice
+//! one core instead of scaling).
+//!
+//! Serve entries carry `"qps"` rather than `"millis"`, which keeps
+//! them out of the calibrated timing gate by construction — throughput
+//! under a deliberately oversubscribed reader count is far too
+//! machine-shaped to gate on absolute numbers; only the same-machine
+//! 1 → 8 scaling ratio is gated.
 //!
 //! Usage: `perf_summary [OUTPUT_PATH] [--baseline PATH] [--tolerance FRAC]
 //! [--raw]`
@@ -37,8 +49,9 @@
 
 use hypermine_core::{AssociationModel, CountStrategy, ModelConfig};
 use hypermine_market::{discretize_market, Market, SimConfig, Universe};
+use hypermine_serve::{measure_qps, FeedConfig, MarketFeed, QpsRun, SnapshotSpec};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Mirrors the `construction` bench fixture: 40 tickers, two simulated
 /// years, seed 5.
@@ -65,6 +78,17 @@ const BATCH_DAYS: usize = 5;
 /// runs: the three builds already take tens of seconds of CI time.
 const WIDE_TICKERS: usize = 240;
 const WIDE_RUNS: usize = 2;
+
+/// Serve fixture: a modest live feed (16 tickers, 120-day window) so
+/// three timed runs fit the CI budget; the writer slides as fast as the
+/// host queue's backpressure allows while each reader count hammers the
+/// published snapshots. C2 gammas (1.20 / 1.12) — the configuration the
+/// `serve` CLI benches, so CI gates the number the CLI prints.
+const SERVE_TICKERS: usize = 16;
+const SERVE_WINDOW: usize = 120;
+const SERVE_DAYS: usize = 240;
+const SERVE_READERS: [usize; 3] = [1, 4, 8];
+const SERVE_MS: u64 = 500;
 
 struct Args {
     output: Option<String>,
@@ -386,11 +410,74 @@ fn main() {
         });
     }
 
+    // Serve section: aggregate reader throughput against live
+    // epoch-tagged snapshots at each reader count, writer sliding
+    // continuously. `"qps"` instead of `"millis"` keeps these entries
+    // out of the calibrated timing gate (see the module docs); the
+    // gated quantity is the same-machine 1 → 8 scaling ratio below.
+    let serve_feed_cfg = FeedConfig {
+        tickers: SERVE_TICKERS,
+        window: SERVE_WINDOW,
+        n_days: SERVE_DAYS,
+        ..FeedConfig::default()
+    };
+    let serve_model_cfg = ModelConfig {
+        gamma_edge: 1.20,
+        gamma_hyper: 1.12,
+        ..ModelConfig::default()
+    };
+    let serve_spec = SnapshotSpec::default();
+    let serve_feed = MarketFeed::new(&serve_feed_cfg);
+    let mut serve_entries = String::new();
+    let mut serve_runs: Vec<QpsRun> = Vec::new();
+    for &readers in &SERVE_READERS {
+        let mut run = measure_qps(
+            &serve_feed,
+            &serve_model_cfg,
+            &serve_spec,
+            readers,
+            Duration::from_millis(SERVE_MS),
+        );
+        // On a starved runner the writer may never get a slice inside a
+        // short run; the qps number only means "throughput during live
+        // slides" if at least one slide landed, so retry longer.
+        for _ in 0..2 {
+            if run.max_epoch_seen >= 1 {
+                break;
+            }
+            run = measure_qps(
+                &serve_feed,
+                &serve_model_cfg,
+                &serve_spec,
+                readers,
+                Duration::from_millis(SERVE_MS * 2),
+            );
+        }
+        eprintln!(
+            "serve {readers} reader(s): {:.0} queries/s ({} queries, {} publishes, \
+             epoch reached {})",
+            run.qps, run.queries, run.published, run.max_epoch_seen
+        );
+        if !serve_entries.is_empty() {
+            serve_entries.push_str(",\n");
+        }
+        write!(
+            serve_entries,
+            "    {{\"readers\": {readers}, \"strategy\": \"serve-qps\", \"qps\": {:.0}, \
+             \"queries\": {}, \"published\": {}, \"max_epoch\": {}}}",
+            run.qps, run.queries, run.published, run.max_epoch_seen
+        )
+        .expect("writing to a String cannot fail");
+        serve_runs.push(run);
+    }
+
     let json = format!(
         "{{\n  \"fixture\": {{\"tickers\": {TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \
          \"gammas\": \"c1\", \"threads\": 1, \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ],\n  \
          \"incremental\": {{\"window\": {WINDOW}, \"days\": {INC_DAYS}, \"slides\": {SLIDES}, \"entries\": [\n{inc_entries}\n  ]}},\n  \
-         \"wide\": {{\"tickers\": {WIDE_TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \"threads\": 1, \"runs\": {WIDE_RUNS}, \"entries\": [\n{wide_entries}\n  ]}}\n}}\n"
+         \"wide\": {{\"tickers\": {WIDE_TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \"threads\": 1, \"runs\": {WIDE_RUNS}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
+         \"serve\": {{\"tickers\": {SERVE_TICKERS}, \"window\": {SERVE_WINDOW}, \"days\": {SERVE_DAYS}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}}\n}}\n",
+        serve_feed_cfg.k, serve_feed_cfg.seed
     );
     print!("{json}");
     if let Some(path) = &args.output {
@@ -487,6 +574,52 @@ fn main() {
                  below the 2x floor"
             );
             std::process::exit(1);
+        }
+        // Serve scaling gate: aggregate reader throughput must grow
+        // with reader threads during live slides. A same-machine ratio
+        // like the speedup floors above (no hardware calibration), but
+        // it does need cores to scale onto, so the floor is
+        // hardware-aware: lock-free reads should deliver near-linear
+        // reader scaling when cores are plentiful (≥ 3× from 1 → 8
+        // readers on 8+ cores), a softer ≥ 2× when the writer + feeder
+        // threads eat a meaningful share of 4–7 cores, and nothing at
+        // all below 4 cores — there the readers time-slice one or two
+        // cores and the ratio measures the scheduler, not the serving
+        // layer.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let base_run = serve_runs.iter().find(|r| r.readers == 1);
+        let top_run = serve_runs.iter().max_by_key(|r| r.readers);
+        if let (Some(base), Some(top)) = (base_run, top_run) {
+            let scaling = top.qps / base.qps;
+            let floor = if cores >= 8 {
+                Some(3.0)
+            } else if cores >= 4 {
+                Some(2.0)
+            } else {
+                None
+            };
+            match floor {
+                Some(floor) if scaling < floor => {
+                    eprintln!(
+                        "serve qps scaling 1 -> {} readers is {scaling:.2}x, below the \
+                         {floor:.1}x floor for {cores} cores",
+                        top.readers
+                    );
+                    std::process::exit(1);
+                }
+                Some(floor) => eprintln!(
+                    "serve qps scaling 1 -> {} readers: {scaling:.2}x >= {floor:.1}x \
+                     ({cores} cores)",
+                    top.readers
+                ),
+                None => eprintln!(
+                    "serve qps scaling gate skipped: {cores} core(s) < 4 \
+                     (measured {scaling:.2}x from 1 -> {} readers)",
+                    top.readers
+                ),
+            }
         }
         eprintln!(
             "all construction timings within {:.0}% of {path}; \

@@ -15,7 +15,7 @@
 use crate::config::{CountStrategy, ModelConfig};
 use crate::counting::{CountingEngine, HeadCounter};
 use crate::model::{node_of, AssociationModel};
-use crate::parallel::{parallel_blocks, parallel_chunks};
+use crate::parallel::{parallel_blocks, parallel_chunks, steal_block_size};
 use hypermine_data::{AttrId, Database, PairBuckets};
 use hypermine_hypergraph::DirectedHypergraph;
 
@@ -77,10 +77,11 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
         }
         let strategy2 = cfg.strategy.resolve(k * k, k, m);
         // Kept candidates: (a, b, h, acv). Blocks are claimed off an atomic
-        // cursor (work stealing), sized for ~8 blocks per thread so uneven
-        // per-pair costs rebalance across workers; each worker thread keeps
-        // one HeadCounter + PairBuckets scratch across all its blocks.
-        let block = pairs.len().div_ceil(threads * 8).max(1);
+        // cursor (work stealing), sized by the shared `BLOCKS_PER_THREAD`
+        // rule so uneven per-pair costs rebalance across workers; each
+        // worker thread keeps one HeadCounter + PairBuckets scratch across
+        // all its blocks.
+        let block = steal_block_size(pairs.len(), threads);
         let raw = &raw_edge_acv;
         let (engine, attrs) = (&engine, &attrs);
         // Blocks are fixed contiguous pair ranges returned in block order

@@ -51,6 +51,23 @@
 //! exactly those per-head table paths). A naive recount path
 //! cross-validates both fast paths in tests.
 //!
+//! **Work-stealing block sizing.** The parallel pass-2 sweeps (batch
+//! construction and the incremental state build) cut their pair lists
+//! into `threads × BLOCKS_PER_THREAD` blocks claimed off an atomic
+//! cursor (`crate::parallel`). Re-measured under the flat u16 kernels
+//! (the PR 3 sizing predated them): full C2 builds at `threads = 4`,
+//! `m = 400`, `k = 5`, median of 5, release, on a single-core host (the
+//! 4 workers time-slice, which is also the oversubscribed worst case) —
+//! blocks/thread 4 / 8 / 16 gave 12.6 / 8.6–10.3 / 7.6–8.0 ms at
+//! `n = 40` and 1539 / 1613–1659 / 1390–1524 ms at `n = 240` across two
+//! sweeps. 16 won at both sizes (~10–15% over 8): pair blocks have
+//! strongly uneven cost under the adaptive folds, and finer blocks
+//! rebalance better while cursor traffic stays negligible at this
+//! granularity. Default: `BLOCKS_PER_THREAD = 16`, shared by both call
+//! sites via `steal_block_size`; the harness
+//! (`parallel::tests::block_sizing_measurement`, `--ignored`) reruns
+//! the sweep on any future hardware.
+//!
 //! These are the **batch** counting paths: one pass over a fixed window,
 //! the fastest way to build a model from scratch and the reference the
 //! incremental path must match bit for bit. When the window *slides*

@@ -51,7 +51,7 @@ use crate::builder;
 use crate::config::ModelConfig;
 use crate::counting::{for_each_bit, CountingEngine, HeadCounter};
 use crate::model::AssociationModel;
-use crate::parallel::parallel_blocks;
+use crate::parallel::{parallel_blocks, steal_block_size};
 use hypermine_data::{
     AttrId, Database, ObsMatrix, PairBuckets, Value, ValueIndex, WindowedDatabase,
 };
@@ -248,7 +248,7 @@ impl IncrementalState {
             }
         }
         let threads = cfg.effective_threads();
-        let block = pairs.len().div_ceil(threads * 8).max(1);
+        let block = steal_block_size(pairs.len(), threads);
         let (engine, obs_ref) = (engine.as_ref(), &obs);
         let chunks: Vec<PairChunk> = parallel_blocks(&pairs, threads, block, || {
             let mut buckets = PairBuckets::new();

@@ -60,7 +60,9 @@ pub use leading::{
     StopRule,
 };
 pub use mining::{top_rules, MinedRule};
-pub use model::{attr_of, node_of, AssociationModel, BuildError, ModelStats, ModelTables};
+pub use model::{
+    attr_of, node_of, AssociationModel, BuildError, ModelExport, ModelStats, ModelTables,
+};
 pub use rule::{MvaRule, RuleError};
 pub use simgraph::{cluster_attributes, similarity_distance_matrix, AttributeClustering};
 pub use similarity::{in_similarity_graph, out_similarity_graph};

@@ -23,6 +23,39 @@ pub fn attr_of(n: NodeId) -> AttrId {
     AttrId::new(n.raw())
 }
 
+/// A self-contained, owned export of a model's queryable state — the
+/// seam between the mutable mining side and read-only consumers.
+///
+/// The streaming writer mutates its [`AssociationModel`] in place on every
+/// slide, so concurrent readers can never borrow the live model; instead
+/// the serving layer calls [`AssociationModel::export`] at publish time and
+/// hands each reader an immutable copy. An export carries everything a
+/// query needs — the kept hypergraph, the exact training window, the
+/// γ baselines, majority fallbacks, and the raw ACV matrix — and nothing
+/// the mining side needs back, so producing one never touches counting
+/// state: it is a handful of `memcpy`-shaped clones
+/// (`O(edges + n² + n·m)`), orders of magnitude cheaper than a rebuild.
+#[derive(Debug, Clone)]
+pub struct ModelExport {
+    /// The kept association hypergraph (weights are ACVs).
+    pub graph: DirectedHypergraph,
+    /// The exact training window the model currently covers.
+    pub db: Database,
+    /// The value-domain size `k`.
+    pub k: Value,
+    /// `ACV(∅, {h})` per attribute (the γ baselines).
+    pub baseline: Vec<f64>,
+    /// Training-set majority value per attribute (classifier fallback).
+    pub majority: Vec<Option<Value>>,
+    /// Raw directed-edge ACVs for all ordered pairs (`tail · n + head`).
+    pub raw_edge_acv: Vec<f64>,
+    /// The model's window epoch at export time (see
+    /// [`AssociationModel::epoch`]).
+    pub epoch: u64,
+    /// The configuration the model was mined under.
+    pub config: ModelConfig,
+}
+
 /// Errors raised by [`AssociationModel::build`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
@@ -246,11 +279,61 @@ impl AssociationModel {
         Ok(())
     }
 
+    /// Contracts the window from the *old* end: the oldest observation
+    /// retires and nothing joins, leaving the model exactly as a fresh
+    /// [`AssociationModel::build`] over the shrunk window would — the
+    /// streaming counterpart of a calendar gap (market holiday, missing
+    /// data day), where a served window must age out stale observations
+    /// without waiting for new ones.
+    ///
+    /// Currently rebuild-backed: the incremental engine maintains
+    /// fixed-width windows (retire + append in one step), so a pure
+    /// contraction re-mines the shrunk window and drops any live
+    /// incremental state (the next [`AssociationModel::advance`] lazily
+    /// rebuilds it over the new, smaller capacity). That costs one batch
+    /// build per retirement — acceptable for occasional gaps; a stream of
+    /// pure retirements should batch them between rebuilds.
+    ///
+    /// [`AssociationModel::epoch`] increments by one (the window changed,
+    /// so snapshot consumers must observe a new epoch). Fails with
+    /// [`AdvanceError::EmptyModel`] when fewer than two observations
+    /// remain — a model cannot cover an empty window. On an error nothing
+    /// changes.
+    pub fn retire_oldest(&mut self) -> Result<(), AdvanceError> {
+        if self.db.num_attrs() == 0 || self.db.num_obs() <= 1 {
+            return Err(AdvanceError::EmptyModel);
+        }
+        let shrunk = self.db.slice_obs(1..self.db.num_obs());
+        let mut rebuilt = builder::build(&shrunk, &self.cfg);
+        rebuilt.epoch = self.epoch + 1;
+        *self = rebuilt;
+        Ok(())
+    }
+
     /// Number of observations [`AssociationModel::advance`] /
     /// [`AssociationModel::advance_batch`] slid past since the batch
-    /// build (0 for a fresh build).
+    /// build (0 for a fresh build), plus one per
+    /// [`AssociationModel::retire_oldest`] contraction.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Exports the model's queryable state as an owned, immutable
+    /// [`ModelExport`] — the cheap snapshot path for read-mostly serving
+    /// (see the type-level docs for the cost model). The export observes
+    /// the model at the current [`AssociationModel::epoch`]; later
+    /// `advance`/`retire_oldest` calls never affect it.
+    pub fn export(&self) -> ModelExport {
+        ModelExport {
+            graph: self.graph.clone(),
+            db: self.db.clone(),
+            k: self.k,
+            baseline: self.baseline.clone(),
+            majority: self.majority.clone(),
+            raw_edge_acv: self.raw_edge_acv.clone(),
+            epoch: self.epoch,
+            config: self.cfg.clone(),
+        }
     }
 
     /// Size and layout of the live incremental counting state: `None`
@@ -575,6 +658,95 @@ mod tests {
         assert_eq!(m.attr_by_name("nope"), None);
         assert_eq!(m.attr_name(a(2)), "z");
         assert_eq!(m.k(), 3);
+    }
+
+    #[test]
+    fn retire_oldest_matches_batch_rebuild() {
+        let d = db();
+        let cfg = ModelConfig::default();
+        let mut m = AssociationModel::build(&d, &cfg).unwrap();
+        m.retire_oldest().unwrap();
+        assert_eq!(m.epoch(), 1);
+        let batch = AssociationModel::build(&d.slice_obs(1..d.num_obs()), &cfg).unwrap();
+        assert_eq!(m.hypergraph().num_edges(), batch.hypergraph().num_edges());
+        for (id, e) in batch.hypergraph().edges() {
+            let o = m.hypergraph().edge(id);
+            assert_eq!(e.tail(), o.tail());
+            assert_eq!(e.head(), o.head());
+            assert_eq!(e.weight().to_bits(), o.weight().to_bits());
+        }
+        assert_eq!(m.database(), &d.slice_obs(1..d.num_obs()));
+    }
+
+    #[test]
+    fn retire_then_advance_matches_batch_rebuild() {
+        // A calendar gap: one day retires with nothing to replace it, then
+        // the stream resumes. The survived window must be bit-identical to
+        // mining it from scratch.
+        let d = db();
+        let cfg = ModelConfig::default();
+        let mut m = AssociationModel::build(&d.slice_obs(0..100), &cfg).unwrap();
+        // Warm the incremental state so retirement exercises dropping it.
+        let mut row = vec![0 as Value; d.num_attrs()];
+        for (at, v) in row.iter_mut().enumerate() {
+            *v = d.value(a(at as u32), 100);
+        }
+        m.advance(&row).unwrap();
+        m.retire_oldest().unwrap();
+        m.retire_oldest().unwrap();
+        for (i, obs) in (101..110).enumerate() {
+            for (at, v) in row.iter_mut().enumerate() {
+                *v = d.value(a(at as u32), obs);
+            }
+            m.advance(&row).unwrap();
+            assert_eq!(m.epoch(), 4 + i as u64);
+        }
+        let batch = AssociationModel::build(m.database(), &cfg).unwrap();
+        assert_eq!(m.hypergraph().num_edges(), batch.hypergraph().num_edges());
+        for (id, e) in batch.hypergraph().edges() {
+            let o = m.hypergraph().edge(id);
+            assert_eq!(e.tail(), o.tail());
+            assert_eq!(e.head(), o.head());
+            assert_eq!(e.weight().to_bits(), o.weight().to_bits());
+        }
+        // `advance` slides at fixed width, so the window keeps the shrunk
+        // width the two retirements left behind: 100 - 2.
+        assert_eq!(m.database().num_obs(), 98);
+    }
+
+    #[test]
+    fn retire_oldest_guards_degenerate_windows() {
+        let d = db();
+        let mut m = AssociationModel::build(&d.slice_obs(0..2), &ModelConfig::default()).unwrap();
+        m.retire_oldest().unwrap(); // 2 -> 1 is legal (a degenerate mine)...
+        m.retire_oldest().unwrap_err(); // ...but 1 -> 0 would empty the window.
+        assert_eq!(m.database().num_obs(), 1, "failed retire changes nothing");
+        assert_eq!(m.epoch(), 1, "failed retire does not consume an epoch");
+    }
+
+    #[test]
+    fn export_is_detached_from_the_live_model() {
+        let d = db();
+        let mut m = AssociationModel::build(&d.slice_obs(0..100), &ModelConfig::default()).unwrap();
+        let export = m.export();
+        assert_eq!(export.epoch, 0);
+        assert_eq!(export.k, m.k());
+        assert_eq!(export.graph.num_edges(), m.hypergraph().num_edges());
+        assert_eq!(export.db, *m.database());
+        // Mutating the model afterwards must not bleed into the export.
+        let mut row = vec![0 as Value; d.num_attrs()];
+        for (at, v) in row.iter_mut().enumerate() {
+            *v = d.value(a(at as u32), 100);
+        }
+        m.advance(&row).unwrap();
+        assert_eq!(export.epoch, 0);
+        assert_eq!(export.db.num_obs(), 100);
+        assert_eq!(
+            export.baseline,
+            AssociationModel::build(&d.slice_obs(0..100), &ModelConfig::default())
+                .unwrap()
+                .baseline
+        );
     }
 
     #[test]

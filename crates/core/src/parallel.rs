@@ -15,6 +15,27 @@
 //!   the sequential output exactly — determinism holds at every thread
 //!   count and block size.
 
+/// Work-stealing granularity: block-based passes cut their work list
+/// into `threads * BLOCKS_PER_THREAD` blocks.
+///
+/// Re-measured over the flat u16 pass-2 kernels (full builds at
+/// `threads = 4`, `n ∈ {40, 240}`, median of 5, release; numbers in the
+/// block-sizing note in `crate::counting`): 16 beat 8 by ~10–15% at
+/// both sizes and 4 trailed further — pair-block costs are uneven
+/// enough under the adaptive folds that finer blocks rebalance better,
+/// while the atomic-cursor and result-assembly overhead is still
+/// invisible at this granularity. Rerun
+/// `parallel::tests::block_sizing_measurement` (`--ignored`, release)
+/// before changing this.
+pub(crate) const BLOCKS_PER_THREAD: usize = 16;
+
+/// The shared sizing rule for a work-stealing pass over `len` items on
+/// `threads` workers: `ceil(len / (threads * BLOCKS_PER_THREAD))`,
+/// never zero.
+pub(crate) fn steal_block_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads * BLOCKS_PER_THREAD).max(1)
+}
+
 /// Runs `worker` over contiguous chunks of `items` on up to `threads`
 /// scoped threads, returning the per-chunk results in chunk order
 /// (chunk `i` covers `items[i*ceil(len/threads)..]`, so concatenating the
@@ -186,6 +207,51 @@ mod tests {
         });
         let seen: Vec<usize> = blocks.iter().map(|&(s, _)| s).collect();
         assert_eq!(seen, (1..=10).collect::<Vec<_>>());
+    }
+
+    /// The block-sizing measurement harness behind `BLOCKS_PER_THREAD`:
+    /// run with each candidate value compiled in and compare the
+    /// printed medians. Ignored by default (it is a benchmark):
+    ///
+    /// ```bash
+    /// cargo test -p hypermine-core --release -- --ignored --nocapture block_sizing
+    /// ```
+    #[test]
+    #[ignore = "benchmark harness, run manually with --release"]
+    fn block_sizing_measurement() {
+        use crate::config::ModelConfig;
+        use crate::model::AssociationModel;
+        use hypermine_data::{Database, Value};
+
+        for &(n, m) in &[(40usize, 400usize), (240, 400)] {
+            let cols: Vec<Vec<Value>> = (0..n)
+                .map(|a| {
+                    (0..m)
+                        .map(|o| ((o * (a % 7 + 1) + a / 7) % 5 + 1) as Value)
+                        .collect()
+                })
+                .collect();
+            let names = (0..n).map(|a| format!("a{a}")).collect();
+            let db = Database::from_columns(names, 5, cols).unwrap();
+            let cfg = ModelConfig {
+                threads: 4,
+                ..ModelConfig::default()
+            };
+            let mut runs: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let model = AssociationModel::build(&db, &cfg).unwrap();
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    assert!(model.hypergraph().num_edges() > 0);
+                    ms
+                })
+                .collect();
+            runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            println!(
+                "blocks/thread {} | n = {n:>3}: median {:.2} ms (min {:.2}, max {:.2})",
+                BLOCKS_PER_THREAD, runs[2], runs[0], runs[4]
+            );
+        }
     }
 
     #[test]

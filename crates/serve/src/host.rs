@@ -1,0 +1,224 @@
+//! The host side of the serve split: a dedicated writer thread draining
+//! a bounded command queue while readers query published snapshots.
+//!
+//! [`ServeHost::spawn`] moves a [`ModelServer`] onto its own thread and
+//! returns a handle that (a) enqueues stream commands with backpressure
+//! — a bounded [`std::sync::mpsc::sync_channel`], so a slow writer
+//! throttles the feed instead of buffering unboundedly — and (b) hands
+//! out lock-free [`ReaderHandle`]s that keep working for as long as any
+//! handle to the snapshot cell lives, even after shutdown.
+
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hypermine_data::Value;
+
+use crate::cell::{ArcCell, ReaderHandle};
+use crate::snapshot::ModelSnapshot;
+use crate::writer::ModelServer;
+
+/// One unit of stream input for the writer thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamCmd {
+    /// Slide the window one observation forward.
+    Advance(Vec<Value>),
+    /// Slide the window several steps in one batch (one publish).
+    AdvanceBatch(Vec<Vec<Value>>),
+    /// Contract the window from the old end (calendar gap).
+    Retire,
+    /// Drain nothing further and exit the writer thread.
+    Shutdown,
+}
+
+/// What the writer thread did before exiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriterStats {
+    /// Snapshots published (successful mutations).
+    pub published: u64,
+    /// Commands rejected by the model (e.g. malformed rows). The
+    /// previous snapshot stays served across a rejection.
+    pub rejected: u64,
+    /// The last published epoch.
+    pub last_epoch: u64,
+}
+
+/// A running serve instance: writer thread + snapshot cell.
+#[derive(Debug)]
+pub struct ServeHost {
+    cell: Arc<ArcCell<ModelSnapshot>>,
+    tx: Option<SyncSender<StreamCmd>>,
+    writer: Option<JoinHandle<WriterStats>>,
+}
+
+impl ServeHost {
+    /// Spawns the writer thread around `server` with a command queue of
+    /// depth `queue` (senders block when it is full — that is the
+    /// feed's backpressure).
+    pub fn spawn(server: ModelServer, queue: usize) -> ServeHost {
+        let cell = Arc::clone(server.cell());
+        let (tx, rx) = sync_channel::<StreamCmd>(queue.max(1));
+        let writer = std::thread::Builder::new()
+            .name("hypermine-serve-writer".into())
+            .spawn(move || {
+                let mut server = server;
+                let mut stats = WriterStats {
+                    last_epoch: server.model().epoch(),
+                    ..WriterStats::default()
+                };
+                while let Ok(cmd) = rx.recv() {
+                    let outcome = match cmd {
+                        StreamCmd::Advance(row) => server.advance(&row),
+                        StreamCmd::AdvanceBatch(rows) => server.advance_batch(&rows),
+                        StreamCmd::Retire => server.retire_oldest(),
+                        StreamCmd::Shutdown => break,
+                    };
+                    match outcome {
+                        Ok(epoch) => {
+                            stats.published += 1;
+                            stats.last_epoch = epoch;
+                        }
+                        Err(_) => stats.rejected += 1,
+                    }
+                }
+                stats
+            })
+            .expect("spawning the writer thread");
+        ServeHost {
+            cell,
+            tx: Some(tx),
+            writer: Some(writer),
+        }
+    }
+
+    /// A lock-free reader of the published snapshot; independent of the
+    /// host's lifetime (the cell is ref-counted).
+    pub fn reader(&self) -> ReaderHandle<ModelSnapshot> {
+        self.cell.reader()
+    }
+
+    /// The snapshot cell, e.g. to create readers on other threads.
+    pub fn cell(&self) -> &Arc<ArcCell<ModelSnapshot>> {
+        &self.cell
+    }
+
+    /// Enqueues a command, blocking while the queue is full. Returns
+    /// `false` if the writer already exited.
+    pub fn send(&self, cmd: StreamCmd) -> bool {
+        self.tx
+            .as_ref()
+            .map(|tx| tx.send(cmd).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Enqueues a command without blocking. Returns the command back
+    /// when the queue is full (`Err`), so feeds can drop or retry.
+    pub fn try_send(&self, cmd: StreamCmd) -> Result<(), StreamCmd> {
+        match self.tx.as_ref() {
+            None => Err(cmd),
+            Some(tx) => match tx.try_send(cmd) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => Err(c),
+            },
+        }
+    }
+
+    /// Convenience: [`StreamCmd::Advance`] with backpressure.
+    pub fn advance(&self, row: Vec<Value>) -> bool {
+        self.send(StreamCmd::Advance(row))
+    }
+
+    /// Drains the queue, stops the writer, and returns its stats.
+    pub fn shutdown(mut self) -> WriterStats {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> WriterStats {
+        if let Some(tx) = self.tx.take() {
+            // A full queue still accepts Shutdown eventually: the writer
+            // is draining it. Ignore a disconnected writer (panicked).
+            let _ = tx.send(StreamCmd::Shutdown);
+        }
+        match self.writer.take() {
+            Some(handle) => handle.join().expect("writer thread panicked"),
+            None => WriterStats::default(),
+        }
+    }
+}
+
+impl Drop for ServeHost {
+    fn drop(&mut self) {
+        if self.writer.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotSpec;
+    use hypermine_core::{AssociationModel, ModelConfig};
+    use hypermine_data::Database;
+
+    fn server() -> (Database, ModelServer) {
+        let x: Vec<Value> = (0..120).map(|i| (i % 3 + 1) as Value).collect();
+        let z: Vec<Value> = (0..120).map(|i| ((i / 7) % 3 + 1) as Value).collect();
+        let d = Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            vec![x.clone(), x, z],
+        )
+        .unwrap();
+        let model = AssociationModel::build(&d.slice_obs(0..100), &ModelConfig::default()).unwrap();
+        (d, ModelServer::new(model, SnapshotSpec::default()))
+    }
+
+    #[test]
+    fn host_streams_commands_through_the_writer() {
+        let (d, server) = server();
+        let host = ServeHost::spawn(server, 8);
+        let mut reader = host.reader();
+        for o in 100..110 {
+            assert!(host.advance(d.attrs().map(|a| d.value(a, o)).collect()));
+        }
+        assert!(host.send(StreamCmd::Retire));
+        // Enqueuing succeeds; the *writer* rejects the malformed row.
+        assert!(host.send(StreamCmd::Advance(vec![1])));
+        let stats = host.shutdown();
+        assert_eq!(stats.published, 11);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.last_epoch, 11);
+        // The cell outlives the host's writer.
+        assert_eq!(reader.load().epoch(), 11);
+    }
+
+    #[test]
+    fn try_send_reports_a_full_queue_instead_of_blocking() {
+        let (d, server) = server();
+        let host = ServeHost::spawn(server, 1);
+        let row: Vec<Value> = d.attrs().map(|a| d.value(a, 100)).collect();
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        for _ in 0..64 {
+            match host.try_send(StreamCmd::Advance(row.clone())) {
+                Ok(()) => accepted += 1,
+                Err(StreamCmd::Advance(_)) => refused += 1,
+                Err(_) => unreachable!("commands come back unchanged"),
+            }
+        }
+        assert!(accepted >= 1);
+        let stats = host.shutdown();
+        assert_eq!(stats.published, accepted);
+        assert!(refused + accepted == 64);
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_the_writer() {
+        let (d, server) = server();
+        {
+            let host = ServeHost::spawn(server, 4);
+            host.advance(d.attrs().map(|a| d.value(a, 100)).collect());
+        } // Drop joins; no leaked thread, no panic.
+    }
+}

@@ -1,0 +1,640 @@
+//! Epoch-tagged, immutable serving snapshots of an association model.
+//!
+//! A [`ModelSnapshot`] is everything a query needs, precomputed at
+//! publish time so answering is pointer-chasing, not recounting:
+//!
+//! - the window's hypergraph, database, and [`DegreeStats`];
+//! - the cached leading-indicator (dominator) set, computed with the
+//!   same ACV-percentile filter + set-cover adaptation the streaming
+//!   example uses, plus membership flags for O(1) lookups;
+//! - per-head best simple edge / best hyperedge and the full in-edge
+//!   ranking by ACV (the "top-γ" view), both in CSR layout;
+//! - pre-materialized [`AssociationTable`]s for every kept edge whose
+//!   tail lies inside the dominator — the hot set Algorithm 9 consults —
+//!   grouped per target in edge-id order so votes accumulate in exactly
+//!   the order [`AssociationClassifier::predict`] uses (bit-identical
+//!   scores);
+//! - the strongest mined rules ([`top_rules`]) above the spec's floors;
+//! - an FNV-1a digest over the logical content, so stress tests can
+//!   prove no torn snapshot is ever observable.
+//!
+//! The read path allocates nothing: callers keep a [`QueryScratch`]
+//! (sized once per schema, valid across epochs) and tail values ride in
+//! a stack buffer (tails have at most 2 attributes by Definition 3.7).
+//!
+//! [`AssociationClassifier::predict`]: hypermine_core::AssociationClassifier::predict
+
+use hypermine_core::{
+    attr_of, node_of, set_cover_adaptation, top_rules, AssociationModel, MinedRule, ModelConfig,
+    ModelExport, SetCoverOptions,
+};
+use hypermine_data::{AttrId, Database, Value};
+use hypermine_hypergraph::stats::DegreeStats;
+use hypermine_hypergraph::{DirectedHypergraph, EdgeId, Hyperedge, NodeId};
+
+use hypermine_core::AssociationTable;
+
+/// How to derive the serving indexes from a model at publish time.
+#[derive(Debug, Clone)]
+pub struct SnapshotSpec {
+    /// Keep only the strongest `fraction` of edges (by ACV percentile)
+    /// before computing the dominator, mirroring the streaming example;
+    /// `None` runs set cover on the unfiltered graph.
+    pub acv_keep_fraction: Option<f64>,
+    /// Set-cover adaptation options for the dominator computation.
+    pub set_cover: SetCoverOptions,
+    /// How many mined rules to pre-rank for [`ModelSnapshot::top_rules`].
+    /// `0` skips rule mining entirely — the cheapest publish, for
+    /// streams that only serve dominators and predictions.
+    pub rule_limit: usize,
+    /// Support floor for the pre-ranked rules.
+    pub rule_min_support: f64,
+    /// Confidence floor for the pre-ranked rules.
+    pub rule_min_confidence: f64,
+}
+
+impl Default for SnapshotSpec {
+    fn default() -> Self {
+        SnapshotSpec {
+            acv_keep_fraction: Some(0.4),
+            set_cover: SetCoverOptions::default(),
+            rule_limit: 32,
+            rule_min_support: 0.0,
+            rule_min_confidence: 0.0,
+        }
+    }
+}
+
+/// Reusable per-reader scratch for [`ModelSnapshot::predict_into`]. One
+/// allocation per reader thread, valid for every snapshot sharing the
+/// schema (`k` never changes across slides of one stream).
+#[derive(Debug, Clone)]
+pub struct QueryScratch {
+    /// Raw vote accumulator, `scores[v - 1]` for value `v ∈ 1..=k`.
+    /// After a successful predict it holds the same bits
+    /// `Prediction::scores` would.
+    pub scores: Vec<f64>,
+}
+
+/// An immutable, epoch-tagged view of one window's association model
+/// with all serving indexes precomputed. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    epoch: u64,
+    graph: DirectedHypergraph,
+    db: Database,
+    k: Value,
+    config: ModelConfig,
+    majority: Vec<Option<Value>>,
+    baseline: Vec<f64>,
+    degree_stats: DegreeStats,
+    /// The cached dominator, sorted ascending.
+    dominator: Vec<NodeId>,
+    /// `in_dominator[a]` — O(1) membership.
+    in_dominator: Vec<bool>,
+    /// Dominator attrs in the order predictions read them (sorted).
+    known: Vec<AttrId>,
+    /// Fraction of nodes the dominator covers (its `percent_covered`).
+    coverage: f64,
+    /// Per-attr best simple in-edge / best in-hyperedge.
+    best_in: Vec<Option<EdgeId>>,
+    best_in_hyper: Vec<Option<EdgeId>>,
+    /// CSR: in-edges of each head, strongest ACV first (ties by id).
+    ranked_offsets: Vec<u32>,
+    ranked_edges: Vec<EdgeId>,
+    /// CSR: per target, the tables of kept edges with tail ⊆ dominator,
+    /// in edge-id order (the classifier's exact accumulation order).
+    relevant_offsets: Vec<u32>,
+    relevant_tables: Vec<AssociationTable>,
+    /// Pre-ranked mined rules.
+    rules: Vec<MinedRule>,
+    /// FNV-1a digest of the logical content, for torn-snapshot checks.
+    digest: u64,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot of `model`'s current state. This is the
+    /// publish-time cost the writer pays so that readers pay nothing:
+    /// one [`AssociationModel::export`], one dominator computation, one
+    /// table materialization pass over the hot edge set, one rule
+    /// ranking, and one digest pass.
+    pub fn build(model: &AssociationModel, spec: &SnapshotSpec) -> ModelSnapshot {
+        let ModelExport {
+            graph,
+            db,
+            k,
+            baseline,
+            majority,
+            raw_edge_acv: _,
+            epoch,
+            config,
+        } = model.export();
+        let n = db.num_attrs();
+
+        // Dominator over the (optionally ACV-filtered) graph, exactly as
+        // the streaming example derives its leading indicators.
+        let nodes: Vec<NodeId> = db.attrs().map(node_of).collect();
+        let filtered;
+        let dom_graph = match spec
+            .acv_keep_fraction
+            .and_then(|f| model.acv_percentile_threshold(f))
+        {
+            Some(thr) => {
+                filtered = model.filter_by_acv(thr);
+                filtered.hypergraph()
+            }
+            None => model.hypergraph(),
+        };
+        let dom_result = set_cover_adaptation(dom_graph, &nodes, &spec.set_cover);
+        let coverage = dom_result.percent_covered();
+        let mut dominator = dom_result.dominator;
+        dominator.sort_unstable();
+        let mut in_dominator = vec![false; n];
+        for &v in &dominator {
+            in_dominator[v.index()] = true;
+        }
+        let known: Vec<AttrId> = dominator.iter().map(|&v| attr_of(v)).collect();
+
+        // Per-head best edges and the full ACV ranking, CSR.
+        let mut best_in = Vec::with_capacity(n);
+        let mut best_in_hyper = Vec::with_capacity(n);
+        let mut ranked_offsets = Vec::with_capacity(n + 1);
+        let mut ranked_edges = Vec::new();
+        ranked_offsets.push(0u32);
+        for a in db.attrs() {
+            best_in.push(model.best_in_edge(a));
+            best_in_hyper.push(model.best_in_hyperedge(a));
+            let start = ranked_edges.len();
+            ranked_edges.extend_from_slice(graph.in_edges(node_of(a)));
+            ranked_edges[start..].sort_unstable_by(|&x, &y| {
+                graph
+                    .edge(y)
+                    .weight()
+                    .partial_cmp(&graph.edge(x).weight())
+                    .expect("ACVs are finite")
+                    .then(x.cmp(&y))
+            });
+            ranked_offsets.push(ranked_edges.len() as u32);
+        }
+
+        // The classifier's hot set: tables of kept edges with tail ⊆
+        // dominator, grouped per target. Collection order is edge-id
+        // order, matching `AssociationClassifier::new` so the batched
+        // materialization and the per-target vote order are identical.
+        let mut targets_and_ids = Vec::new();
+        for (id, e) in graph.edges() {
+            if e.tail().iter().all(|t| in_dominator[t.index()]) {
+                for &h in e.head() {
+                    if !in_dominator[h.index()] {
+                        targets_and_ids.push((h.index(), id));
+                    }
+                }
+            }
+        }
+        let ids: Vec<EdgeId> = targets_and_ids.iter().map(|&(_, id)| id).collect();
+        let batch = model.tables().tables_for_edges(&ids);
+        let mut per_target: Vec<Vec<AssociationTable>> = vec![Vec::new(); n];
+        for ((h, _), table) in targets_and_ids.into_iter().zip(batch) {
+            per_target[h].push(table);
+        }
+        let mut relevant_offsets = Vec::with_capacity(n + 1);
+        let mut relevant_tables = Vec::new();
+        relevant_offsets.push(0u32);
+        for tables in per_target {
+            relevant_tables.extend(tables);
+            relevant_offsets.push(relevant_tables.len() as u32);
+        }
+
+        // Rule mining walks every edge's full table — by far the most
+        // expensive serving index (it dwarfs the dominator + table
+        // passes on wide windows), so `rule_limit: 0` skips it outright.
+        let rules = if spec.rule_limit == 0 {
+            Vec::new()
+        } else {
+            top_rules(
+                model,
+                spec.rule_min_support,
+                spec.rule_min_confidence,
+                spec.rule_limit,
+            )
+        };
+        let degree_stats = DegreeStats::compute(&graph);
+
+        let mut snapshot = ModelSnapshot {
+            epoch,
+            graph,
+            db,
+            k,
+            config,
+            majority,
+            baseline,
+            degree_stats,
+            dominator,
+            in_dominator,
+            known,
+            coverage,
+            best_in,
+            best_in_hyper,
+            ranked_offsets,
+            ranked_edges,
+            relevant_offsets,
+            relevant_tables,
+            rules,
+            digest: 0,
+        };
+        snapshot.digest = snapshot.compute_digest();
+        snapshot
+    }
+
+    /// The model epoch this snapshot was published at. Strictly
+    /// increasing along one stream's publish order.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The window's hypergraph (nodes = attributes, weights = ACVs).
+    pub fn graph(&self) -> &DirectedHypergraph {
+        &self.graph
+    }
+
+    /// The training window behind this snapshot.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Discretization arity `k`.
+    pub fn k(&self) -> Value {
+        self.k
+    }
+
+    /// The mining configuration the window was mined with.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Number of attributes (= nodes).
+    pub fn num_attrs(&self) -> usize {
+        self.db.num_attrs()
+    }
+
+    /// Attribute name lookup (no allocation).
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        self.db.attr_name(a)
+    }
+
+    /// Weighted degree vectors of the window's hypergraph.
+    pub fn degree_stats(&self) -> &DegreeStats {
+        &self.degree_stats
+    }
+
+    /// The cached leading-indicator (dominator) set, sorted ascending.
+    pub fn dominator(&self) -> &[NodeId] {
+        &self.dominator
+    }
+
+    /// The dominator as attributes — the classifier's known set `S`.
+    pub fn known(&self) -> &[AttrId] {
+        &self.known
+    }
+
+    /// O(1): is `a` a leading indicator in this snapshot?
+    pub fn is_leading(&self, a: AttrId) -> bool {
+        self.in_dominator[a.index()]
+    }
+
+    /// Fraction of nodes the cached dominator covers.
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+
+    /// Strongest simple in-edge of `a` (highest ACV), if any.
+    pub fn best_in_edge(&self, a: AttrId) -> Option<EdgeId> {
+        self.best_in[a.index()]
+    }
+
+    /// Strongest in-hyperedge of `a` (highest ACV), if any.
+    pub fn best_in_hyperedge(&self, a: AttrId) -> Option<EdgeId> {
+        self.best_in_hyper[a.index()]
+    }
+
+    /// All kept in-edges of `a`, strongest ACV first (ties by edge id).
+    /// The top-γ view: `ranked_in_edges(a).get(..m)` is the m strongest
+    /// associations into `a`.
+    pub fn ranked_in_edges(&self, a: AttrId) -> &[EdgeId] {
+        let lo = self.ranked_offsets[a.index()] as usize;
+        let hi = self.ranked_offsets[a.index() + 1] as usize;
+        &self.ranked_edges[lo..hi]
+    }
+
+    /// The edge behind an id (borrowed from the snapshot's graph).
+    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
+        self.graph.edge(id)
+    }
+
+    /// The pre-ranked strongest mined rules (see [`SnapshotSpec`]).
+    pub fn top_rules(&self) -> &[MinedRule] {
+        &self.rules
+    }
+
+    /// Number of hyperedges that can vote for `target` given the cached
+    /// dominator as the known set.
+    pub fn relevant_edge_count(&self, target: AttrId) -> usize {
+        (self.relevant_offsets[target.index() + 1] - self.relevant_offsets[target.index()]) as usize
+    }
+
+    /// The pre-materialized voting tables for `target`, in edge-id order.
+    pub fn relevant_tables(&self, target: AttrId) -> &[AssociationTable] {
+        let lo = self.relevant_offsets[target.index()] as usize;
+        let hi = self.relevant_offsets[target.index() + 1] as usize;
+        &self.relevant_tables[lo..hi]
+    }
+
+    /// Training-majority value of `a` (the no-vote fallback).
+    pub fn majority_value(&self, a: AttrId) -> Option<Value> {
+        self.majority[a.index()]
+    }
+
+    /// Baseline ACV of head `a` in this window.
+    pub fn baseline_acv(&self, a: AttrId) -> f64 {
+        self.baseline[a.index()]
+    }
+
+    /// A scratch buffer sized for this snapshot's schema; reusable
+    /// across snapshots of the same stream.
+    pub fn scratch(&self) -> QueryScratch {
+        QueryScratch {
+            scores: vec![0.0; self.k as usize],
+        }
+    }
+
+    /// Algorithm 9 on the cached dominator: predicts `target`'s value
+    /// from `row` (one value per attribute; only the dominator
+    /// attributes are read) and returns `(value, confidence)`, or `None`
+    /// when no relevant hyperedge casts a positive vote.
+    ///
+    /// Zero-allocation, and **bit-identical** to
+    /// `AssociationClassifier::new(model, snapshot.known()).predict(..)`
+    /// on the same window: tables, grouping, accumulation order, and the
+    /// argmax tie-break all match; `scratch.scores` afterwards holds the
+    /// same bits `Prediction::scores` would.
+    ///
+    /// # Panics
+    /// Panics if `row` is not one value per attribute, a dominator
+    /// attribute's value lies outside `1..=k`, or `target` is itself a
+    /// leading indicator.
+    pub fn predict_into(
+        &self,
+        scratch: &mut QueryScratch,
+        row: &[Value],
+        target: AttrId,
+    ) -> Option<(Value, f64)> {
+        assert_eq!(row.len(), self.num_attrs(), "one value per attribute");
+        assert!(
+            !self.in_dominator[target.index()],
+            "target must not be one of the known attributes"
+        );
+        let k = self.k as usize;
+        debug_assert!(
+            self.known
+                .iter()
+                .all(|&a| row[a.index()] >= 1 && (row[a.index()] as usize) <= k),
+            "known values must lie in 1..=k"
+        );
+        scratch.scores.iter_mut().for_each(|s| *s = 0.0);
+        // Tails have at most two attributes (simple edges and 2-to-1
+        // hyperedges), so tail values live on the stack.
+        let mut tail_vals = [0 as Value; 2];
+        for table in self.relevant_tables(target) {
+            let tail = table.tail();
+            for (slot, t) in tail_vals.iter_mut().zip(tail) {
+                *slot = row[t.index()];
+            }
+            let (best, vote) = table.row_vote(&tail_vals[..tail.len()]);
+            if let Some(best) = best {
+                scratch.scores[best as usize - 1] += vote;
+            }
+        }
+        let total: f64 = scratch.scores.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let (best_idx, &best_val) = scratch
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))
+            .expect("k >= 1");
+        Some(((best_idx + 1) as Value, best_val / total))
+    }
+
+    /// [`ModelSnapshot::predict_into`] with the classifier's fallback:
+    /// the window's majority value when no hyperedge votes.
+    pub fn predict_or_majority(
+        &self,
+        scratch: &mut QueryScratch,
+        row: &[Value],
+        target: AttrId,
+    ) -> Value {
+        match self.predict_into(scratch, row, target) {
+            Some((v, _)) => v,
+            None => self.majority_value(target).unwrap_or(1),
+        }
+    }
+
+    /// The content digest stamped at build time.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the digest from the snapshot's logical content and
+    /// compares it to the stamp. A mismatch would mean a reader observed
+    /// a torn snapshot — the concurrency tests assert this never fails.
+    /// O(edges); intended for tests and debugging, not the hot path.
+    pub fn verify_digest(&self) -> bool {
+        self.compute_digest() == self.digest
+    }
+
+    fn compute_digest(&self) -> u64 {
+        // FNV-1a over everything queries can observe.
+        let mut h = Fnv::new();
+        h.u64(self.epoch);
+        h.u64(self.num_attrs() as u64);
+        h.u64(self.k as u64);
+        h.u64(self.graph.num_edges() as u64);
+        for (_, e) in self.graph.edges() {
+            for &t in e.tail() {
+                h.u64(t.index() as u64);
+            }
+            for &head in e.head() {
+                h.u64(head.index() as u64);
+            }
+            h.u64(e.weight().to_bits());
+        }
+        for &v in &self.dominator {
+            h.u64(v.index() as u64);
+        }
+        for &b in &self.baseline {
+            h.u64(b.to_bits());
+        }
+        for &o in &self.relevant_offsets {
+            h.u64(o as u64);
+        }
+        for r in &self.rules {
+            h.u64(r.head.index() as u64);
+            h.u64(r.head_value as u64);
+            h.u64(r.support.to_bits());
+            h.u64(r.confidence.to_bits());
+        }
+        h.u64(self.coverage.to_bits());
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a, enough to make torn content detectable.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypermine_core::AssociationClassifier;
+
+    fn db() -> Database {
+        let m = 300;
+        let x: Vec<Value> = (0..m).map(|o| (o % 3 + 1) as Value).collect();
+        let y = x.clone();
+        let z: Vec<Value> = x
+            .iter()
+            .enumerate()
+            .map(|(o, &v)| if o % 5 == 0 { (v % 3) + 1 } else { v })
+            .collect();
+        let w: Vec<Value> = (0..m).map(|o| ((o / 11) % 3 + 1) as Value).collect();
+        Database::from_columns(
+            vec!["x".into(), "y".into(), "z".into(), "w".into()],
+            3,
+            vec![x, y, z, w],
+        )
+        .unwrap()
+    }
+
+    fn snap(model: &AssociationModel) -> ModelSnapshot {
+        ModelSnapshot::build(model, &SnapshotSpec::default())
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_model() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s = snap(&m);
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.num_attrs(), 4);
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.graph().num_edges(), m.hypergraph().num_edges());
+        assert_eq!(s.database(), m.database());
+        for a in d.attrs() {
+            assert_eq!(s.best_in_edge(a), m.best_in_edge(a));
+            assert_eq!(s.best_in_hyperedge(a), m.best_in_hyperedge(a));
+            assert_eq!(s.majority_value(a), m.majority_value(a));
+            assert_eq!(s.baseline_acv(a).to_bits(), m.baseline_acv(a).to_bits());
+        }
+        assert!(s.verify_digest());
+    }
+
+    #[test]
+    fn ranked_in_edges_sort_by_acv_descending() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s = snap(&m);
+        for a in d.attrs() {
+            let ranked = s.ranked_in_edges(a);
+            assert_eq!(ranked.len(), m.hypergraph().in_edges(node_of(a)).len());
+            for pair in ranked.windows(2) {
+                assert!(s.edge(pair[0]).weight() >= s.edge(pair[1]).weight());
+            }
+            if let (Some(best), Some(&first)) = (s.best_in_edge(a), ranked.first()) {
+                // The ranking's head is at least as strong as the best
+                // simple edge (it may be a hyperedge).
+                assert!(s.edge(first).weight() >= s.edge(best).weight());
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_bit_identical_to_the_classifier() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s = snap(&m);
+        assert!(!s.known().is_empty(), "fixture yields a dominator");
+        let clf = AssociationClassifier::new(&m, s.known());
+        let mut scratch = s.scratch();
+        let mut row = vec![0 as Value; d.num_attrs()];
+        for obs in 0..d.num_obs() {
+            for a in d.attrs() {
+                row[a.index()] = d.value(a, obs);
+            }
+            let values: Vec<Value> = s.known().iter().map(|&a| d.value(a, obs)).collect();
+            for target in d.attrs().filter(|&t| !s.is_leading(t)) {
+                let got = s.predict_into(&mut scratch, &row, target);
+                match clf.predict(&values, target) {
+                    None => assert_eq!(got, None),
+                    Some(p) => {
+                        let (v, c) = got.expect("classifier voted");
+                        assert_eq!(v, p.value);
+                        assert_eq!(c.to_bits(), p.confidence.to_bits());
+                        for (a, b) in scratch.scores.iter().zip(&p.scores) {
+                            assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                }
+                assert_eq!(
+                    s.predict_or_majority(&mut scratch, &row, target),
+                    clf.predict_observation(&d, obs, target)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_rules_match_the_mining_module() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let spec = SnapshotSpec {
+            rule_limit: 8,
+            ..SnapshotSpec::default()
+        };
+        let s = ModelSnapshot::build(&m, &spec);
+        assert_eq!(s.top_rules(), &top_rules(&m, 0.0, 0.0, 8)[..]);
+    }
+
+    #[test]
+    fn digest_detects_content_drift() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s0 = snap(&m);
+        let mut m2 = m.clone();
+        let mut row = vec![0 as Value; d.num_attrs()];
+        for a in d.attrs() {
+            row[a.index()] = d.value(a, 0);
+        }
+        m2.advance(&row).unwrap();
+        let s1 = snap(&m2);
+        assert_ne!(s0.digest(), s1.digest(), "epoch alone separates digests");
+        assert!(s0.verify_digest() && s1.verify_digest());
+    }
+}

@@ -15,6 +15,9 @@
 //! - [`ml`] — baseline classifiers (perceptron, logistic regression, SVM, MLP).
 //! - [`core`] — the paper's contribution: association hypergraphs, similarity,
 //!   leading indicators, and the association-based classifier.
+//! - [`serve`] — concurrent serving: epoch-tagged snapshots published through
+//!   a lock-free cell, queried without locks or allocation while the window
+//!   slides.
 //! - [`experiments`] — the harness regenerating every table and figure.
 //!
 //! ## Quickstart
@@ -45,3 +48,4 @@ pub use hypermine_experiments as experiments;
 pub use hypermine_hypergraph as hypergraph;
 pub use hypermine_market as market;
 pub use hypermine_ml as ml;
+pub use hypermine_serve as serve;
