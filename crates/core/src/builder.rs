@@ -20,7 +20,8 @@ use hypermine_data::{AttrId, Database, PairBuckets};
 use hypermine_hypergraph::DirectedHypergraph;
 
 pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
-    let engine = CountingEngine::new(db);
+    let mut engine = CountingEngine::new(db);
+    engine.restrict_kernel(cfg.kernel_cap);
     let n = db.num_attrs();
     let k = db.k() as usize;
     let m = db.num_obs();
@@ -36,7 +37,7 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
     // Pass 1: every ordered pair's directed-edge ACV, parallel over tail
     // attributes (k rows per tail). The raw ACV matrix is retained in full —
     // the γ tests for 2-to-1 edges need it.
-    let strategy1 = cfg.strategy.resolve(k, k, m);
+    let strategy1 = cfg.strategy.resolve(k, k, m, n);
     let acv_chunks: Vec<Vec<f64>> = parallel_chunks(&attrs, threads, |slice| {
         let mut counter = HeadCounter::new(n, db.k());
         let mut out = Vec::with_capacity(slice.len() * n);
@@ -75,7 +76,7 @@ pub(crate) fn build(db: &Database, cfg: &ModelConfig) -> AssociationModel {
                 pairs.push((attrs[i], attrs[j]));
             }
         }
-        let strategy2 = cfg.strategy.resolve(k * k, k, m);
+        let strategy2 = cfg.strategy.resolve(k * k, k, m, n);
         // Kept candidates: (a, b, h, acv). Blocks are claimed off an atomic
         // cursor (work stealing), sized by the shared `BLOCKS_PER_THREAD`
         // rule so uneven per-pair costs rebalance across workers; each

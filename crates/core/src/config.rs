@@ -1,5 +1,7 @@
 //! Model-construction configuration.
 
+use crate::counting::KernelPath;
+
 /// How the construction sweeps count head-value distributions (see
 /// `crate::counting` for the two implementations, which produce
 /// bit-identical models).
@@ -26,37 +28,53 @@ pub enum CountStrategy {
 impl CountStrategy {
     /// Resolves `Auto` for one construction pass over tails of
     /// `rows_per_tail` value rows (`k` in pass 1, `k²` in pass 2) on a
-    /// database of `num_obs` observations over `1..=k`.
+    /// database of `num_attrs` attributes × `num_obs` observations over
+    /// `1..=k`.
     ///
     /// Cost model, per head of one tail: the bitset path performs
     /// `rows · (k−1)` intersection popcounts of `⌈m/64⌉` words; the
     /// observation-major path performs `m` counter bumps (the rows
     /// partition the observations) plus a per-row best-count fold that
     /// the blocked flat kernels run at roughly one-eighth of a scalar op
-    /// per counter slot — `0.7·m + rows + rows·k/8`, where the 0.7 factor
-    /// is the v4 flat-bump discount (precomputed u16 slot stripes off the
-    /// `SlotMatrix`, four observations in lockstep) over the v3 per-head
-    /// walk the old model was fitted to. Comparing the two operation
-    /// counts directly matches the measured crossovers on x86-64 (bench
-    /// fixtures, `m ≈ 500`, re-measured at n ∈ {40, 120, 240}, which
-    /// scale both sides equally — the crossover `k` is n-independent):
-    /// the paper's C1 setting `k = 3` stays on `Bitset` for both passes
-    /// (≈1.3× faster, at n = 40 as at n = 240), the pair pass switches to
-    /// `ObsMajor` from `k = 4` (≈1.3× there, ≈10× by k = 8 at n = 40),
-    /// and the cheap directed pass 1 flips at `k = 8`.
-    pub fn resolve(self, rows_per_tail: usize, k: usize, num_obs: usize) -> CountStrategy {
+    /// per counter slot — `c·m + rows + rows·k/8`, where `c` is the
+    /// flat-bump discount over the v3 per-head walk the old model was
+    /// fitted to: 0.7 for the u16 kernel (precomputed slot stripes, four
+    /// observations in lockstep; measured at n ∈ {40, 120, 240}),
+    /// 0.8 where only the u32 wide kernel engages (`n·stride > 65536`
+    /// or `m > 65535` — same bump structure, doubled lane width halves
+    /// the fold's lanes per vector; estimated from the lane-width ratio
+    /// and held honest by the CI-gated n = 500 wide fixture), and 1.0
+    /// in the segmented-walk regime past even the u32 range. Comparing
+    /// the two operation counts directly matches the measured crossovers
+    /// on x86-64 (bench fixtures, `m ≈ 500`, re-measured at
+    /// n ∈ {40, 120, 240} and checked unchanged at n = 500 — both sides
+    /// scale with the head count, so the crossover `k` is
+    /// n-independent): the paper's C1 setting `k = 3` stays on `Bitset`
+    /// for both passes (≈1.3× faster, at n = 40 as at n = 500), the
+    /// pair pass switches to `ObsMajor` from `k = 4` (≈1.3× there, ≈10×
+    /// by k = 8 at n = 40), and the cheap directed pass 1 flips at
+    /// `k = 8`.
+    pub fn resolve(
+        self,
+        rows_per_tail: usize,
+        k: usize,
+        num_obs: usize,
+        num_attrs: usize,
+    ) -> CountStrategy {
         match self {
             CountStrategy::Auto => {
                 let words = num_obs.div_ceil(64);
                 let bitset_per_head = rows_per_tail * k.saturating_sub(1) * words;
-                // The 0.7 bump discount only exists where the flat kernel
-                // can engage; past the u16 counter bound (m > 65535) the
-                // dense path is the segmented per-head walk the old
-                // 1.0·m fit was measured on.
-                let bump = if num_obs <= u16::MAX as usize {
+                let stride = k.div_ceil(4) * 4;
+                let u16_fits =
+                    num_obs <= u16::MAX as usize && num_attrs * stride <= u16::MAX as usize + 1;
+                let bump = if u16_fits {
                     7 * num_obs / 10
                 } else {
-                    num_obs
+                    // The wide u32 kernel engages for every practical
+                    // database past the u16 caps; the 1.0 segmented
+                    // regime is unreachable without an explicit cap.
+                    4 * num_obs / 5
                 };
                 let obs_per_head = bump + rows_per_tail + rows_per_tail * k / 8;
                 if bitset_per_head > obs_per_head {
@@ -66,6 +84,63 @@ impl CountStrategy {
                 }
             }
             fixed => fixed,
+        }
+    }
+}
+
+/// Attribute count at which [`GammaPreset::for_num_attrs`] switches from
+/// [`GammaPreset::Exact`] to [`GammaPreset::WideDefault`].
+///
+/// The pair pass proposes `O(n²)` candidate tails, so at fixed gammas the
+/// kept-edge count — and with it model memory, snapshot publishing, and
+/// query fan-out — grows roughly quadratically in the attribute count. On
+/// the market fixtures (`m = 504`, `k ∈ {3, 5, 8}`) the paper's C1/C2
+/// gammas keep the per-node edge density roughly flat up to `n ≈ 240`
+/// but cross into millions of kept edges between `n = 240` and
+/// `n = 500`; 300 is the midpoint at which the stricter wide gammas
+/// start paying for themselves on every fixture we gate.
+pub const WIDE_PRESET_ATTRS: usize = 300;
+
+/// Named γ-threshold presets for [`ModelConfig`].
+///
+/// The γ thresholds (Definition 3.7) decide which candidate edges the
+/// model keeps, and thereby how model size scales with the attribute
+/// count. `Exact` reproduces the paper's C1 setting verbatim;
+/// `WideDefault` is a stricter pair tuned for wide universes
+/// (`n ≳ `[`WIDE_PRESET_ATTRS`]) where C1-density models stop fitting the
+/// RSS budget the CI perf gate enforces. Presets only choose gammas —
+/// counting, kernels, and bit-identity guarantees are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GammaPreset {
+    /// The paper's C1 gammas (γ₁ = 1.15, γ₂ = 1.05) — exact
+    /// reproduction of the reference experiments; edge count grows
+    /// roughly quadratically with the attribute count.
+    Exact,
+    /// Stricter gammas (γ₁ = 1.30, γ₂ = 1.20) for wide attribute sets:
+    /// keeps only associations whose ACV clears its baseline by ≥ 30 %
+    /// (≥ 20 % over the best constituent for hyperedges), holding
+    /// per-node edge density roughly flat as `n` grows past
+    /// [`WIDE_PRESET_ATTRS`].
+    WideDefault,
+}
+
+impl GammaPreset {
+    /// `(gamma_edge, gamma_hyper)` for this preset.
+    pub fn gammas(self) -> (f64, f64) {
+        match self {
+            GammaPreset::Exact => (1.15, 1.05),
+            GammaPreset::WideDefault => (1.30, 1.20),
+        }
+    }
+
+    /// The preset recommended for a database of `num_attrs` attributes:
+    /// [`GammaPreset::Exact`] below [`WIDE_PRESET_ATTRS`],
+    /// [`GammaPreset::WideDefault`] at or above it.
+    pub fn for_num_attrs(num_attrs: usize) -> Self {
+        if num_attrs >= WIDE_PRESET_ATTRS {
+            GammaPreset::WideDefault
+        } else {
+            GammaPreset::Exact
         }
     }
 }
@@ -98,6 +173,15 @@ pub struct ModelConfig {
     /// incremental maintenance has a single counting path whose output is
     /// bit-identical to every strategy by construction.
     pub strategy: CountStrategy,
+    /// Upper bound on the observation-major counting kernel tier (see
+    /// `crate::counting`): the engine engages the best tier the database
+    /// fits that does not exceed this cap, so the default
+    /// [`KernelPath::FlatU16`] means "no restriction". Lowering the cap
+    /// (to [`KernelPath::FlatU32`] or [`KernelPath::Segmented`]) forces
+    /// wider-universe code paths on small fixtures; every tier is
+    /// bit-identical, so this is a testing/diagnostics knob, not a
+    /// tuning knob.
+    pub kernel_cap: KernelPath,
     /// Memory budget for the incremental engine's triple-count tensor in
     /// bytes; `None` uses the built-in 32 MB default. The tensor makes a
     /// slide's pass-2 update a handful of cell pokes per `(pair, head)`;
@@ -120,6 +204,7 @@ impl Default for ModelConfig {
             with_hyperedges: true,
             threads: 0,
             strategy: CountStrategy::Auto,
+            kernel_cap: KernelPath::FlatU16,
             triple_tensor_max_bytes: None,
         }
     }
@@ -129,6 +214,17 @@ impl ModelConfig {
     /// The paper's configuration **C1** (used with `k = 3`).
     pub fn c1() -> Self {
         Self::default()
+    }
+
+    /// A configuration with this [`GammaPreset`]'s gammas and every other
+    /// field at its default.
+    pub fn with_preset(preset: GammaPreset) -> Self {
+        let (gamma_edge, gamma_hyper) = preset.gammas();
+        ModelConfig {
+            gamma_edge,
+            gamma_hyper,
+            ..Self::default()
+        }
     }
 
     /// The paper's configuration **C2** (used with `k = 5`):
@@ -171,35 +267,90 @@ mod tests {
     #[test]
     fn auto_strategy_crossover() {
         let m = 504; // two simulated years of trading days
+        let n = 500; // the widest CI-gated fixture — still u16-flat at k ≤ 12
+        let auto = CountStrategy::Auto;
         // C1 (k = 3) stays on the bitset path for both passes…
-        assert_eq!(CountStrategy::Auto.resolve(3, 3, m), CountStrategy::Bitset);
-        assert_eq!(CountStrategy::Auto.resolve(9, 3, m), CountStrategy::Bitset);
+        assert_eq!(auto.resolve(3, 3, m, n), CountStrategy::Bitset);
+        assert_eq!(auto.resolve(9, 3, m, n), CountStrategy::Bitset);
         // …the pair pass crosses over from k = 4 with the v4 flat kernels
         // (measured 1.3× at n = 40 and n = 120)…
-        assert_eq!(CountStrategy::Auto.resolve(16, 4, m), CountStrategy::ObsMajor);
-        assert_eq!(CountStrategy::Auto.resolve(25, 5, m), CountStrategy::ObsMajor);
+        assert_eq!(auto.resolve(16, 4, m, n), CountStrategy::ObsMajor);
+        assert_eq!(auto.resolve(25, 5, m, n), CountStrategy::ObsMajor);
         // …while the cheap directed pass holds out a little longer…
-        assert_eq!(CountStrategy::Auto.resolve(4, 4, m), CountStrategy::Bitset);
-        assert_eq!(CountStrategy::Auto.resolve(5, 5, m), CountStrategy::Bitset);
+        assert_eq!(auto.resolve(4, 4, m, n), CountStrategy::Bitset);
+        assert_eq!(auto.resolve(5, 5, m, n), CountStrategy::Bitset);
         // …and large k is observation-major everywhere it matters.
-        assert_eq!(CountStrategy::Auto.resolve(64, 8, m), CountStrategy::ObsMajor);
-        assert_eq!(
-            CountStrategy::Auto.resolve(144, 12, m),
-            CountStrategy::ObsMajor
-        );
+        assert_eq!(auto.resolve(64, 8, m, n), CountStrategy::ObsMajor);
+        assert_eq!(auto.resolve(144, 12, m, n), CountStrategy::ObsMajor);
         // The directed pass now crosses over at k = 8 (the flat blocked
         // bump made ObsMajor cheap enough that only intersection-light
         // small-k tails keep Bitset competitive).
-        assert_eq!(CountStrategy::Auto.resolve(8, 8, m), CountStrategy::ObsMajor);
+        assert_eq!(auto.resolve(8, 8, m, n), CountStrategy::ObsMajor);
+        assert_eq!(auto.resolve(12, 12, m, n), CountStrategy::ObsMajor);
+        // Degenerate inputs never panic and fall back to Bitset.
+        assert_eq!(auto.resolve(1, 1, 0, 0), CountStrategy::Bitset);
+        // Fixed strategies resolve to themselves.
         assert_eq!(
-            CountStrategy::Auto.resolve(12, 12, m),
+            CountStrategy::Bitset.resolve(64, 8, m, n),
+            CountStrategy::Bitset
+        );
+        assert_eq!(
+            CountStrategy::ObsMajor.resolve(9, 3, m, n),
             CountStrategy::ObsMajor
         );
-        // Degenerate inputs never panic and fall back to Bitset.
-        assert_eq!(CountStrategy::Auto.resolve(1, 1, 0), CountStrategy::Bitset);
-        // Fixed strategies resolve to themselves.
-        assert_eq!(CountStrategy::Bitset.resolve(64, 8, m), CountStrategy::Bitset);
-        assert_eq!(CountStrategy::ObsMajor.resolve(9, 3, m), CountStrategy::ObsMajor);
+    }
+
+    #[test]
+    fn auto_strategy_widens_the_bitset_window_past_the_u16_caps() {
+        let m = 504;
+        // 20 000 attributes at k = 4: n·stride = 80 000 > 65 536, so only
+        // the u32 wide kernel engages and the bump discount weakens to
+        // 0.8 — the pair-pass crossover slips from k = 4 to k = 5 while
+        // everything from k = 5 up is unchanged.
+        let wide_n = 20_000;
+        assert_eq!(
+            CountStrategy::Auto.resolve(16, 4, m, wide_n),
+            CountStrategy::Bitset
+        );
+        assert_eq!(
+            CountStrategy::Auto.resolve(16, 4, m, 500),
+            CountStrategy::ObsMajor
+        );
+        assert_eq!(
+            CountStrategy::Auto.resolve(25, 5, m, wide_n),
+            CountStrategy::ObsMajor
+        );
+        // A long history (m > u16::MAX) trips the same recalibration even
+        // at a narrow attribute set.
+        let long_m = 70_000;
+        assert_eq!(
+            CountStrategy::Auto.resolve(64, 8, long_m, 40),
+            CountStrategy::ObsMajor
+        );
+    }
+
+    #[test]
+    fn gamma_presets() {
+        assert_eq!(GammaPreset::Exact.gammas(), (1.15, 1.05));
+        assert_eq!(GammaPreset::WideDefault.gammas(), (1.30, 1.20));
+        assert_eq!(GammaPreset::for_num_attrs(40), GammaPreset::Exact);
+        assert_eq!(
+            GammaPreset::for_num_attrs(WIDE_PRESET_ATTRS - 1),
+            GammaPreset::Exact
+        );
+        assert_eq!(
+            GammaPreset::for_num_attrs(WIDE_PRESET_ATTRS),
+            GammaPreset::WideDefault
+        );
+        assert_eq!(GammaPreset::for_num_attrs(500), GammaPreset::WideDefault);
+
+        // Exact is exactly C1; WideDefault is strictly stricter on both
+        // thresholds, so it keeps a subset of C1's edges on any database.
+        assert_eq!(ModelConfig::with_preset(GammaPreset::Exact), ModelConfig::c1());
+        let wide = ModelConfig::with_preset(GammaPreset::WideDefault);
+        assert!(wide.gamma_edge > ModelConfig::c1().gamma_edge);
+        assert!(wide.gamma_hyper > ModelConfig::c1().gamma_hyper);
+        assert_eq!(wide.kernel_cap, KernelPath::FlatU16);
     }
 
     #[test]

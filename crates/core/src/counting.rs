@@ -40,10 +40,19 @@
 //! measured crossovers put the paper's C1 setting `k = 3` on `Bitset`,
 //! the pair pass on `ObsMajor` from `k = 4`, and the directed pass 1 on
 //! `ObsMajor` from `k = 8`, independent of `n` (both sides scale with
-//! the head count). The flat kernel needs `n · stride ≤ 65536` and
-//! `m ≤ 65535` (u16 slots and counters); beyond either bound the dense
-//! path falls back to the segmented per-head byte walk with u32
-//! counters, bit-identically. The `*_acv*` methods are allocation-free
+//! the head count). **Kernel tiers** ([`KernelPath`]): the u16 flat
+//! kernel needs `n · stride ≤ 65536` and `m ≤ 65535` (u16 slots and
+//! counters); beyond either bound the dense path engages the **wide
+//! flat kernel** — the same blocked bump structure over u32
+//! [`WideSlotMatrix`] stripes and u32 counter lanes (half the tile
+//! width, same 16 KB live slice), which admits any real universe
+//! (`n · stride ≤ u32::MAX`) and any window the u32 obs ids allow —
+//! and only past *that* falls back to the segmented per-head byte
+//! walk. All tiers are bit-identical; the engaged tier is surfaced via
+//! [`CountingEngine::kernel_path`] so outgrowing a cap is visible
+//! rather than silently slower, and
+//! [`CountingEngine::restrict_kernel`] pins a worse tier for tests and
+//! measurement. The `*_acv*` methods are allocation-free
 //! (the construction sweep touches tens of millions of `(pair, head)`
 //! combinations); the `*_table` methods materialize full
 //! [`AssociationTable`]s and are used on demand — by the classifier for
@@ -84,7 +93,72 @@
 //! [`PairBuckets`]: hypermine_data::PairBuckets
 
 use crate::table::{AssociationTable, RowCounts};
-use hypermine_data::{AttrId, Database, ObsMatrix, PairBuckets, SlotMatrix, Value, ValueIndex};
+use hypermine_data::{
+    AttrId, Database, ObsMatrix, PairBuckets, SlotMatrix, Value, ValueIndex, WideSlotMatrix,
+};
+
+/// Which dense-row kernel a [`CountingEngine`] engages, in degradation
+/// order: the u16 flat blocked kernel where its caps admit it
+/// (`n·stride ≤ 65536` and `m ≤ 65535`), the u32 flat kernel beyond
+/// them, and the segmented per-head byte walk as the last-resort
+/// portable fallback. All three produce bit-identical counts; they
+/// differ only in speed and counter footprint.
+///
+/// Surfaced by [`CountingEngine::kernel_path`] (and from there by
+/// `incremental_stats()` / `perf_summary` / the `report` bin) so a
+/// database silently outgrowing the u16 caps is visible instead of just
+/// slower; [`CountingEngine::restrict_kernel`] caps the engine at a
+/// *worse* tier, which is how the property tests pin each path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelPath {
+    /// Blocked flat bumps over u16 [`SlotMatrix`] stripes into u16
+    /// counter lanes.
+    FlatU16,
+    /// Blocked flat bumps over u32 [`WideSlotMatrix`] stripes into u32
+    /// counter lanes — engaged when the u16 caps decline.
+    FlatU32,
+    /// Segmented per-head walk over the byte matrix with u32 counters —
+    /// no precomputed slots at all.
+    Segmented,
+}
+
+impl KernelPath {
+    /// Stable lower-case name for JSON output and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelPath::FlatU16 => "flat_u16",
+            KernelPath::FlatU32 => "flat_u32",
+            KernelPath::Segmented => "segmented",
+        }
+    }
+
+    /// The tier a [`CountingEngine`] over a `num_attrs × num_obs`
+    /// database with codes in `1..=k` engages under `cap` — the same
+    /// decision [`CountingEngine::kernel_path`] makes, as a pure
+    /// function of the dimensions, so stats paths can report the tier
+    /// without holding (or building) an engine.
+    pub fn select(num_attrs: usize, k: usize, num_obs: usize, cap: KernelPath) -> KernelPath {
+        let slot_range = num_attrs.checked_mul(SlotMatrix::counter_stride(k));
+        let u16_fits = cap <= KernelPath::FlatU16
+            && num_obs <= u16::MAX as usize
+            && slot_range.is_some_and(|s| s <= SlotMatrix::MAX_SLOTS);
+        let u32_fits =
+            cap <= KernelPath::FlatU32 && slot_range.is_some_and(|s| s <= u32::MAX as usize);
+        if u16_fits {
+            KernelPath::FlatU16
+        } else if u32_fits {
+            KernelPath::FlatU32
+        } else {
+            KernelPath::Segmented
+        }
+    }
+}
+
+impl std::fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Cached tail-row bitsets for an unordered attribute pair `{a, b}`:
 /// `k²` bitsets (one per `(v_a, v_b)` assignment) plus their popcounts.
@@ -125,6 +199,11 @@ impl PairRows {
 /// blocking adds no work at all; the tile loop only splits once
 /// `n·stride > 8192`.
 const TILE_SLOTS: usize = 8 << 10;
+
+/// Counter lanes per head tile of the **wide** (u32) flat bump passes:
+/// half the u16 tile's lane count, so the tile's counter slice stays at
+/// the same 16 KB despite the doubled lane width.
+const WIDE_TILE_SLOTS: usize = 4 << 10;
 
 /// Reusable scratch for the observation-major multi-head sweep: per-head
 /// per-value counters within the current tail row, plus per-head
@@ -176,6 +255,13 @@ pub struct HeadCounter {
     /// lanes are never bumped and stay zero. Zeroed between rows by
     /// [`HeadCounter::fold_row_dense_flat`].
     flat: Vec<u16>,
+    /// u32 counter lanes of the **wide** flat kernel, at the same padded
+    /// stride, addressed by [`WideSlotMatrix`] stripes — the dense path
+    /// past the u16 caps (`n·stride > 65536` or `m > 65535`). Allocated
+    /// lazily on the first wide bump so counters sized for the common
+    /// u16 regime pay nothing; zeroed between rows by
+    /// [`HeadCounter::fold_row_dense_flat_wide`].
+    flat_wide: Vec<u32>,
     /// `SlotMatrix::counter_stride(k)` — the per-head lane stride of
     /// `flat` and of the slot values addressing it.
     stride: usize,
@@ -217,6 +303,7 @@ impl HeadCounter {
             num_obs: 0,
             counts: vec![0u32; num_attrs * k as usize],
             flat: vec![0u16; num_attrs * SlotMatrix::counter_stride(k as usize)],
+            flat_wide: Vec::new(),
             stride: SlotMatrix::counter_stride(k as usize),
             dirty: Vec::with_capacity(num_attrs * k as usize),
             sparse_best: vec![0u32; num_attrs],
@@ -496,6 +583,102 @@ impl HeadCounter {
         }
     }
 
+    /// Head-tile width of the wide flat sweep: u32 lanes are twice the
+    /// bytes of the u16 kernel's, so the tile halves its lane count
+    /// ([`WIDE_TILE_SLOTS`]) to keep the live counter slice the same
+    /// 16 KB and L1-resident.
+    #[inline]
+    fn tile_heads_wide(&self) -> usize {
+        (WIDE_TILE_SLOTS / self.stride).max(1)
+    }
+
+    /// Grows the lazily-allocated wide counter lanes to match `flat`'s
+    /// geometry on the first wide bump (all-zero, like every counter
+    /// array between rows).
+    #[inline]
+    fn ensure_flat_wide(&mut self) {
+        if self.flat_wide.is_empty() {
+            self.flat_wide.resize(self.flat.len(), 0);
+        }
+    }
+
+    /// The u32 twin of [`HeadCounter::bump_row_flat`], streaming
+    /// [`WideSlotMatrix`] stripes into the u32 counter lanes — same
+    /// four-observations-in-lockstep structure, engaged only past the
+    /// u16 kernel's caps.
+    fn bump_row_flat_wide(&mut self, slots: &WideSlotMatrix, ids: &[u32], tile_heads: usize) {
+        self.ensure_flat_wide();
+        let n = slots.num_attrs();
+        let counts = &mut self.flat_wide[..];
+        let mut h0 = 0usize;
+        while h0 < n {
+            let h1 = (h0 + tile_heads).min(n);
+            let mut quads = ids.chunks_exact(4);
+            for q in &mut quads {
+                let s0 = slots.stripe(q[0] as usize, h0, h1);
+                let s1 = slots.stripe(q[1] as usize, h0, h1);
+                let s2 = slots.stripe(q[2] as usize, h0, h1);
+                let s3 = slots.stripe(q[3] as usize, h0, h1);
+                for (((&a, &b), &c), &d) in s0.iter().zip(s1).zip(s2).zip(s3) {
+                    counts[a as usize] += 1;
+                    counts[b as usize] += 1;
+                    counts[c as usize] += 1;
+                    counts[d as usize] += 1;
+                }
+            }
+            for &o in quads.remainder() {
+                for &s in slots.stripe(o as usize, h0, h1) {
+                    counts[s as usize] += 1;
+                }
+            }
+            h0 = h1;
+        }
+    }
+
+    /// Ends a wide-flat-bumped dense row: the u32 twin of
+    /// [`HeadCounter::fold_row_dense_flat`] over the same padded stride
+    /// chunks.
+    fn fold_row_dense_flat_wide(&mut self) {
+        match self.stride {
+            4 => self.fold_row_dense_flat_wide_k::<4>(),
+            8 => self.fold_row_dense_flat_wide_k::<8>(),
+            12 => self.fold_row_dense_flat_wide_k::<12>(),
+            16 => self.fold_row_dense_flat_wide_k::<16>(),
+            _ => self.fold_row_dense_flat_wide_any(),
+        }
+        self.flat_wide.fill(0);
+    }
+
+    /// `fold_row_dense_flat_wide` max pass for a compile-time
+    /// `K == self.stride`.
+    fn fold_row_dense_flat_wide_k<const K: usize>(&mut self) {
+        for (chunk, t) in self.flat_wide.chunks_exact(K).zip(self.totals.iter_mut()) {
+            let chunk: &[u32; K] = chunk.try_into().expect("chunk length is K");
+            let mut best = 0u32;
+            for &c in chunk {
+                best = best.max(c);
+            }
+            *t += best as u64;
+        }
+    }
+
+    /// `fold_row_dense_flat_wide` max pass for arbitrary runtime strides.
+    fn fold_row_dense_flat_wide_any(&mut self) {
+        for (chunk, t) in self
+            .flat_wide
+            .chunks_exact(self.stride)
+            .zip(self.totals.iter_mut())
+        {
+            let mut best = 0u32;
+            for &c in chunk {
+                if c > best {
+                    best = c;
+                }
+            }
+            *t += best as u64;
+        }
+    }
+
     /// Ends a sparse tail row: folds each touched head's best count into
     /// its total (tail heads excluded) and re-zeroes exactly the touched
     /// slots. `O(touched)`, not `O(n·k)`.
@@ -670,8 +853,15 @@ pub struct CountingEngine<'a> {
     obs: std::sync::OnceLock<ObsMatrix>,
     /// Precomputed counter-slot stripes feeding the flat blocked dense
     /// bumps, built on first use; `None` when `n·k` exceeds the u16 slot
-    /// range (the sweeps then fall back to the segmented per-head walk).
+    /// range (the sweeps then fall back to the wide kernel).
     slots: std::sync::OnceLock<Option<SlotMatrix>>,
+    /// u32 twin of `slots` feeding the wide flat kernel, built on first
+    /// use and only consulted when the u16 matrix declines.
+    wide_slots: std::sync::OnceLock<Option<WideSlotMatrix>>,
+    /// The most compressed kernel tier the dense sweeps may engage
+    /// ([`CountingEngine::restrict_kernel`]); [`KernelPath::FlatU16`]
+    /// means unrestricted.
+    kernel_cap: KernelPath,
 }
 
 impl<'a> CountingEngine<'a> {
@@ -684,6 +874,28 @@ impl<'a> CountingEngine<'a> {
             idx: ValueIndex::build(db),
             obs: std::sync::OnceLock::new(),
             slots: std::sync::OnceLock::new(),
+            wide_slots: std::sync::OnceLock::new(),
+            kernel_cap: KernelPath::FlatU16,
+        }
+    }
+
+    /// Forbids dense kernels better than `cap` — `FlatU32` skips the u16
+    /// flat kernel, `Segmented` skips both flat kernels. Counts are
+    /// bit-identical under every cap; this exists for the cross-path
+    /// property tests and for measuring one tier in isolation.
+    pub fn restrict_kernel(&mut self, cap: KernelPath) {
+        self.kernel_cap = cap;
+    }
+
+    /// The dense-row kernel tier this engine's sweeps engage for its
+    /// database (and cap): the first tier whose caps admit the database.
+    pub fn kernel_path(&self) -> KernelPath {
+        if self.slots().is_some() {
+            KernelPath::FlatU16
+        } else if self.wide_slots().is_some() {
+            KernelPath::FlatU32
+        } else {
+            KernelPath::Segmented
         }
     }
 
@@ -698,11 +910,24 @@ impl<'a> CountingEngine<'a> {
     /// counter lanes (`m > 65535`) — the sweeps then fall back to the
     /// segmented per-head walk over the byte matrix.
     fn slots(&self) -> Option<&SlotMatrix> {
-        if self.db.num_obs() > u16::MAX as usize {
+        if self.kernel_cap > KernelPath::FlatU16 || self.db.num_obs() > u16::MAX as usize {
             return None;
         }
         self.slots
             .get_or_init(|| SlotMatrix::build(self.db))
+            .as_ref()
+    }
+
+    /// The u32 slot matrix feeding the wide flat kernel, built on first
+    /// use — the dense path when [`CountingEngine::slots`] declines.
+    /// `None` only under a [`KernelPath::Segmented`] cap (or a
+    /// `n·stride` beyond the u32 range, which no real universe reaches).
+    fn wide_slots(&self) -> Option<&WideSlotMatrix> {
+        if self.kernel_cap > KernelPath::FlatU32 {
+            return None;
+        }
+        self.wide_slots
+            .get_or_init(|| WideSlotMatrix::build(self.db))
             .as_ref()
     }
 
@@ -781,7 +1006,13 @@ impl<'a> CountingEngine<'a> {
         self.check_counter(out);
         let obs = self.obs();
         let slots = self.slots();
+        let wide = if slots.is_none() {
+            self.wide_slots()
+        } else {
+            None
+        };
         let tile_heads = out.tile_heads();
+        let tile_heads_wide = out.tile_heads_wide();
         out.begin(self.db.num_obs(), [a.index(), usize::MAX]);
         for va in 1..=self.db.k() {
             let count = self.idx.count1(a, va);
@@ -797,8 +1028,8 @@ impl<'a> CountingEngine<'a> {
                     for_each_bit(bits, |o| out.bump_obs_tracked(obs.row(o)));
                     out.fold_row_sparse();
                 }
-                _ => match slots {
-                    Some(slots) => {
+                _ => match (slots, wide) {
+                    (Some(slots), _) => {
                         let mut ids = std::mem::take(&mut out.ids);
                         ids.clear();
                         for_each_bit(bits, |o| ids.push(o as u32));
@@ -806,7 +1037,15 @@ impl<'a> CountingEngine<'a> {
                         out.ids = ids;
                         out.fold_row_dense_flat();
                     }
-                    None => {
+                    (None, Some(wide)) => {
+                        let mut ids = std::mem::take(&mut out.ids);
+                        ids.clear();
+                        for_each_bit(bits, |o| ids.push(o as u32));
+                        out.bump_row_flat_wide(wide, &ids, tile_heads_wide);
+                        out.ids = ids;
+                        out.fold_row_dense_flat_wide();
+                    }
+                    (None, None) => {
                         for_each_bit(bits, |o| out.bump_obs(obs.row(o)));
                         out.fold_row_dense();
                     }
@@ -851,7 +1090,13 @@ impl<'a> CountingEngine<'a> {
         );
         let obs = self.obs();
         let slots = self.slots();
+        let wide = if slots.is_none() {
+            self.wide_slots()
+        } else {
+            None
+        };
         let tile_heads = out.tile_heads();
+        let tile_heads_wide = out.tile_heads_wide();
         out.begin(self.db.num_obs(), [a.index(), b.index()]);
         for r in 0..buckets.num_rows() {
             let ids = buckets.row(r);
@@ -876,12 +1121,16 @@ impl<'a> CountingEngine<'a> {
                     }
                     out.fold_row_sparse();
                 }
-                _ => match slots {
-                    Some(slots) => {
+                _ => match (slots, wide) {
+                    (Some(slots), _) => {
                         out.bump_row_flat(slots, ids, tile_heads);
                         out.fold_row_dense_flat();
                     }
-                    None => {
+                    (None, Some(wide)) => {
+                        out.bump_row_flat_wide(wide, ids, tile_heads_wide);
+                        out.fold_row_dense_flat_wide();
+                    }
+                    (None, None) => {
                         let mut it = ids.chunks_exact(2);
                         for two in &mut it {
                             out.bump_obs2(obs.row(two[0] as usize), obs.row(two[1] as usize));
@@ -1115,6 +1364,69 @@ mod tests {
                 "pair ({x},{y}) -> {h}"
             );
         }
+    }
+
+    #[test]
+    fn kernel_tiers_are_bit_identical_and_reported() {
+        // A database dense enough that every tail row takes the dense
+        // path (k = 2 ⇒ sparse cutoff 0, rows of m/2 ≈ 30 observations),
+        // swept once per kernel tier; all totals must agree bit for bit.
+        let n = 12usize;
+        let cols: Vec<Vec<Value>> = (0..n)
+            .map(|a| (0..60).map(|o| ((o * (a + 3) + a) % 2 + 1) as Value).collect())
+            .collect();
+        let d = Database::from_columns(
+            (0..n).map(|i| format!("A{i}")).collect(),
+            2,
+            cols,
+        )
+        .unwrap();
+        let attrs: Vec<AttrId> = d.attrs().collect();
+        let sweep = |cap: KernelPath| {
+            let mut e = CountingEngine::new(&d);
+            e.restrict_kernel(cap);
+            assert_eq!(e.kernel_path(), cap, "cap engages the named tier");
+            let mut counter = HeadCounter::new(n, d.k());
+            let mut buckets = PairBuckets::new();
+            let mut totals: Vec<u64> = Vec::new();
+            for &t in &attrs {
+                e.edge_acv_all_heads(t, &mut counter);
+                totals.extend(attrs.iter().filter(|&&h| h != t).map(|&h| counter.total(h)));
+            }
+            for (i, &a) in attrs.iter().enumerate() {
+                for &b in &attrs[i + 1..] {
+                    e.bucket_pair(a, b, &mut buckets);
+                    e.hyper_acv_all_heads(&buckets, &mut counter);
+                    totals.extend(
+                        attrs
+                            .iter()
+                            .filter(|&&h| h != a && h != b)
+                            .map(|&h| counter.total(h)),
+                    );
+                }
+            }
+            totals
+        };
+        let u16_totals = sweep(KernelPath::FlatU16);
+        assert_eq!(u16_totals, sweep(KernelPath::FlatU32));
+        assert_eq!(u16_totals, sweep(KernelPath::Segmented));
+    }
+
+    #[test]
+    fn kernel_path_degrades_with_database_size() {
+        let d = db();
+        assert_eq!(CountingEngine::new(&d).kernel_path(), KernelPath::FlatU16);
+        // Past the u16 slot range the wide kernel engages on its own.
+        let wide = Database::from_columns(
+            (0..16385).map(|i| format!("A{i}")).collect(),
+            3,
+            vec![vec![1, 2]; 16385],
+        )
+        .unwrap();
+        let e = CountingEngine::new(&wide);
+        assert_eq!(e.kernel_path(), KernelPath::FlatU32);
+        assert_eq!(e.kernel_path().as_str(), "flat_u32");
+        assert_eq!(KernelPath::Segmented.to_string(), "segmented");
     }
 
     #[test]

@@ -49,7 +49,7 @@
 
 use crate::builder;
 use crate::config::ModelConfig;
-use crate::counting::{for_each_bit, CountingEngine, HeadCounter};
+use crate::counting::{for_each_bit, CountingEngine, HeadCounter, KernelPath};
 use crate::model::AssociationModel;
 use crate::parallel::{parallel_blocks, steal_block_size};
 use hypermine_data::{
@@ -113,6 +113,14 @@ pub struct IncrementalStats {
     pub pair_counts_bytes: usize,
     /// Bytes held by the pass-2 numerators `S₂`.
     pub s2_bytes: usize,
+    /// The counting-kernel tier ([`KernelPath`]) the window's database
+    /// engages for batch-grade recounts (the initial state build and the
+    /// row-recount fallback) under the model's `kernel_cap`. Surfaced so
+    /// a stream outgrowing the u16 flat caps degrades *visibly* — the
+    /// wide u32 tier is bit-identical but slower, and "slower" without a
+    /// reported cause is exactly the silent degradation this field
+    /// exists to prevent.
+    pub kernel_path: KernelPath,
 }
 
 /// Persistent sliding-window counting state (see the module docs).
@@ -178,6 +186,9 @@ pub(crate) struct IncrementalState {
     row_bits: Vec<u64>,
     /// Scratch: the retired observation's values.
     old_row: Vec<Value>,
+    /// The model's kernel cap, kept so `stats()` can report the tier the
+    /// window's dimensions select without re-threading the config.
+    kernel_cap: KernelPath,
 }
 
 impl IncrementalState {
@@ -232,7 +243,11 @@ impl IncrementalState {
         // The batch counting engine only backs the row-recount fallback's
         // numerator build; the tensor path derives everything from the
         // buckets and the code matrix.
-        let engine = (want_hyper && !use_tensor).then(|| CountingEngine::new(db));
+        let engine = (want_hyper && !use_tensor).then(|| {
+            let mut engine = CountingEngine::new(db);
+            engine.restrict_kernel(cfg.kernel_cap);
+            engine
+        });
 
         struct PairChunk {
             pair_counts: Vec<u32>,
@@ -327,6 +342,7 @@ impl IncrementalState {
             row_counts: vec![0u32; n * k],
             row_bits: Vec::new(),
             old_row: vec![0; n],
+            kernel_cap: cfg.kernel_cap,
         })
     }
 
@@ -339,6 +355,12 @@ impl IncrementalState {
             row_max_bytes: self.row_max.len() * 2,
             pair_counts_bytes: self.pair_counts.len() * 4,
             s2_bytes: self.s2.len() * 4,
+            kernel_path: KernelPath::select(
+                self.window.num_attrs(),
+                self.window.k() as usize,
+                self.window.num_obs(),
+                self.kernel_cap,
+            ),
         }
     }
 

@@ -51,8 +51,8 @@ mod table;
 pub use classifier::{
     classify_targets, AssociationClassifier, ClassifierEval, Prediction,
 };
-pub use config::{CountStrategy, ModelConfig};
-pub use counting::{CountingEngine, HeadCounter, PairRows};
+pub use config::{CountStrategy, GammaPreset, ModelConfig, WIDE_PRESET_ATTRS};
+pub use counting::{CountingEngine, HeadCounter, KernelPath, PairRows};
 pub use euclid::euclidean_similarity;
 pub use incremental::{AdvanceError, IncrementalStats};
 pub use leading::{

@@ -2,7 +2,7 @@
 
 use crate::builder;
 use crate::config::ModelConfig;
-use crate::counting::{CountingEngine, PairRows};
+use crate::counting::{CountingEngine, KernelPath, PairRows};
 use crate::incremental::AdvanceError;
 use crate::table::AssociationTable;
 use hypermine_data::{AttrId, Database, Value};
@@ -349,6 +349,22 @@ impl AssociationModel {
     /// The configuration the model was built under.
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
+    }
+
+    /// The counting-kernel tier ([`KernelPath`]) this model's database
+    /// dimensions select under its `kernel_cap` — the tier `build` used
+    /// and every batch-grade recount (association tables, the
+    /// incremental row-recount fallback) will use. Log it wherever build
+    /// times are reported: a universe outgrowing the u16 flat caps
+    /// silently switches to the slower wide tier, and this is the signal
+    /// that says so.
+    pub fn kernel_path(&self) -> KernelPath {
+        KernelPath::select(
+            self.db.num_attrs(),
+            self.db.k() as usize,
+            self.db.num_obs(),
+            self.cfg.kernel_cap,
+        )
     }
 
     /// The underlying weighted directed hypergraph (weights are ACVs).

@@ -41,7 +41,7 @@ fn similarity_by<'g>(
     n1: NodeId,
     n2: NodeId,
     star: impl Fn(NodeId) -> &'g [hypermine_hypergraph::EdgeId],
-    sides: impl Fn(&hypermine_hypergraph::Hyperedge) -> (&[NodeId], &[NodeId]),
+    sides: impl Fn(hypermine_hypergraph::EdgeRef<'g>) -> (&'g [NodeId], &'g [NodeId]),
     lookup: impl Fn(&DirectedHypergraph, &[NodeId], &[NodeId]) -> Option<hypermine_hypergraph::EdgeId>,
 ) -> f64 {
     if n1 == n2 {

@@ -150,6 +150,14 @@ impl AssociationTable {
         self.num_obs
     }
 
+    /// Heap bytes this table retains (tail ids + packed row counts) —
+    /// the unit `ModelSnapshot`-style byte accounting sums over the
+    /// pre-materialized hot set.
+    pub fn heap_bytes(&self) -> usize {
+        self.tail.capacity() * std::mem::size_of::<AttrId>()
+            + self.rows.capacity() * std::mem::size_of::<RowCounts>()
+    }
+
     /// Number of rows (`k^|T|`).
     pub fn num_rows(&self) -> usize {
         self.rows.len()

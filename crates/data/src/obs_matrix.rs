@@ -190,6 +190,88 @@ impl SlotMatrix {
     }
 }
 
+/// u32 twin of [`SlotMatrix`] for universes past the u16 slot range:
+/// the same row-major `m × n` matrix of precomputed counter-slot indices
+/// `h · stride + (value − 1)`, with 32-bit lanes so the addressable
+/// counter range grows from 65536 lanes to `u32::MAX` — enough for any
+/// `n · stride` a real universe reaches (n = 500 000 attributes at
+/// k = 8 is 4 M lanes). The wide flat kernel streams these stripes
+/// exactly like the u16 kernel streams [`SlotMatrix`]'s, bumping u32
+/// counters, so `m > 65535` (multi-year single windows) no longer
+/// forces the segmented per-head byte walk either.
+///
+/// Costs twice the bytes per lane of [`SlotMatrix`], so the counting
+/// engine only builds it when the u16 matrix declines
+/// (`n · stride > 65536` or `m > 65535`).
+#[derive(Debug, Clone)]
+pub struct WideSlotMatrix {
+    num_attrs: usize,
+    num_obs: usize,
+    k: usize,
+    /// Layout: `slots[o * num_attrs + h] = h·stride + (value − 1)`.
+    slots: Vec<u32>,
+}
+
+impl WideSlotMatrix {
+    /// Builds the wide slot matrix in one pass over the database's
+    /// columns, or `None` when `n · stride` exceeds the u32 slot range
+    /// (no practical universe does).
+    pub fn build(db: &Database) -> Option<Self> {
+        let num_attrs = db.num_attrs();
+        let num_obs = db.num_obs();
+        let k = db.k() as usize;
+        let stride = SlotMatrix::counter_stride(k);
+        if num_attrs.checked_mul(stride)? > u32::MAX as usize {
+            return None;
+        }
+        let mut slots = vec![0u32; num_attrs * num_obs];
+        for a in db.attrs() {
+            let ai = a.index();
+            let base = (ai * stride) as u32;
+            for (o, &v) in db.column(a).iter().enumerate() {
+                slots[o * num_attrs + ai] = base + (v as u32 - 1);
+            }
+        }
+        Some(WideSlotMatrix {
+            num_attrs,
+            num_obs,
+            k,
+            slots,
+        })
+    }
+
+    /// Number of attributes `n` (row width).
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Number of observations `m` (row count).
+    #[inline]
+    pub fn num_obs(&self) -> usize {
+        self.num_obs
+    }
+
+    /// The value-domain size `k` the slots were computed for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observation `o`'s slot stripe, one u32 per attribute.
+    #[inline]
+    pub fn row(&self, o: usize) -> &[u32] {
+        &self.slots[o * self.num_attrs..(o + 1) * self.num_attrs]
+    }
+
+    /// The sub-stripe of observation `o` covering heads `h0..h1` (the
+    /// input of one head-tile bump pass).
+    #[inline]
+    pub fn stripe(&self, o: usize, h0: usize, h1: usize) -> &[u32] {
+        &self.slots[o * self.num_attrs + h0..o * self.num_attrs + h1]
+    }
+}
+
 /// Observation ids of a tail pair `{a, b}` grouped by `(v_a, v_b)` row —
 /// the PairRows-free input of the observation-major pair sweep.
 ///
@@ -413,6 +495,43 @@ mod tests {
         assert_eq!(SlotMatrix::counter_stride(255), 256);
         assert_eq!(SlotMatrix::counter_stride(8), 8);
         assert_eq!(SlotMatrix::counter_stride(5), 8);
+    }
+
+    #[test]
+    fn wide_slot_matrix_matches_the_u16_matrix_where_both_exist() {
+        let db = Database::from_rows(
+            vec!["x".into(), "y".into(), "z".into()],
+            3,
+            &[[1, 2, 3], [3, 1, 2], [2, 2, 1]],
+        )
+        .unwrap();
+        let narrow = SlotMatrix::build(&db).unwrap();
+        let wide = WideSlotMatrix::build(&db).unwrap();
+        assert_eq!(
+            (wide.num_attrs(), wide.num_obs(), wide.k()),
+            (narrow.num_attrs(), narrow.num_obs(), narrow.k())
+        );
+        for o in 0..db.num_obs() {
+            let n16: Vec<u32> = narrow.row(o).iter().map(|&s| s as u32).collect();
+            assert_eq!(wide.row(o), &n16[..]);
+            assert_eq!(wide.stripe(o, 1, 3), &wide.row(o)[1..3]);
+        }
+    }
+
+    #[test]
+    fn wide_slot_matrix_exists_past_the_u16_range() {
+        // 16385 attrs x stride 4 declines the u16 matrix but not the wide.
+        let db = Database::from_columns(
+            (0..16385).map(|i| format!("A{i}")).collect(),
+            3,
+            vec![vec![1, 2]; 16385],
+        )
+        .unwrap();
+        assert!(SlotMatrix::build(&db).is_none());
+        let wide = WideSlotMatrix::build(&db).expect("u32 range is ample");
+        let stride = SlotMatrix::counter_stride(3);
+        assert_eq!(wide.row(0)[16384], (16384 * stride) as u32);
+        assert_eq!(wide.row(1)[0], 1);
     }
 
     #[test]

@@ -60,6 +60,20 @@ fn parse_args() -> (Scale, u64, Option<String>, CountStrategy) {
     (scale, seed, only, strategy)
 }
 
+/// One line per built model: edge count, the counting-kernel tier the
+/// build engaged (wide universes degrade to `flat_u32` — visibly, not
+/// silently), and the hypergraph's resident bytes.
+fn log_build(t0: &Instant, name: &str, model: &hypermine_core::AssociationModel) {
+    let mem = model.hypergraph().memory();
+    println!(
+        "[{:?}] {name} model built: {} edges (kernel {}, graph {:.1} MiB)",
+        t0.elapsed(),
+        model.hypergraph().num_edges(),
+        model.kernel_path(),
+        mem.total_bytes() as f64 / (1024.0 * 1024.0),
+    );
+}
+
 fn main() {
     let (scale, seed, only, strategy) = parse_args();
     let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
@@ -75,9 +89,10 @@ fn main() {
     let mut cfg2 = Configuration::c2();
     cfg2.model.strategy = strategy;
     let c1 = scenario.build(&cfg1);
-    println!("[{:?}] C1 model built: {} edges", t0.elapsed(), c1.model.hypergraph().num_edges());
+    log_build(&t0, "C1", &c1.model);
     let c2 = scenario.build(&cfg2);
-    println!("[{:?}] C2 model built: {} edges\n", t0.elapsed(), c2.model.hypergraph().num_edges());
+    log_build(&t0, "C2", &c2.model);
+    println!();
 
     if want("stats") {
         println!("---- Section 5.1.2: configuration statistics ----");

@@ -1,4 +1,34 @@
-//! Node/edge identifiers and the [`Hyperedge`] type.
+//! Node/edge identifiers and the [`EdgeRef`] edge view.
+//!
+//! # Edge representation
+//!
+//! Edges are **not** stored as owned per-edge objects. The association
+//! layer only ever builds tails of one or two nodes and single-node
+//! heads, and wide universes (n ≥ 500 attributes) keep millions of such
+//! edges alive at once — PR 5 measured ~1.1 GB RSS at n = 240, dominated
+//! by per-edge boxed node sets and the slab/order indirection. The store
+//! in [`crate::DirectedHypergraph`] therefore packs every edge into a
+//! fixed 12-byte inline record (`[t0, t1, h]` raw u32 node ids, with
+//! `t1 == t0` encoding a one-node tail) plus an 8-byte weight, both in
+//! flat edge-id-indexed arrays. General Definition 2.9 edges — tails of
+//! three or more nodes, or multi-node heads — spill their sorted node
+//! lists into a shared arena and the inline record becomes a
+//! `(offset, lens)` descriptor. Either way an edge costs 20 bytes of
+//! record plus its incidence entries, about 3× less than the previous
+//! slab of enum node sets, and reads come back as a borrowed [`EdgeRef`]
+//! view instead of a `&Hyperedge`.
+//!
+//! # Migration from the slab representation
+//!
+//! Before this refactor `DirectedHypergraph::edge` returned
+//! `&Hyperedge`, an owned struct of two small-size-optimized `NodeSet`s.
+//! The owned type is gone; [`EdgeRef`] is a `Copy` view with the same
+//! accessor surface (`tail()`, `head()`, `weight()`, `tail_len()`,
+//! `head_len()`, `tail_contains()`, `head_contains()`, `is_simple()`,
+//! `Display`), so call sites that only read through accessors compile
+//! unchanged. Code that stored `&Hyperedge` or cloned edges now holds
+//! `EdgeRef<'_>` (cheap to copy, borrows the graph) or extracts the
+//! slices it needs.
 
 use std::fmt;
 
@@ -7,12 +37,13 @@ use std::fmt;
 /// A `NodeId` is an index into the owning [`crate::DirectedHypergraph`]'s
 /// node range `0..num_nodes`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node id from a raw index.
     #[inline]
-    pub fn new(index: u32) -> Self {
+    pub const fn new(index: u32) -> Self {
         NodeId(index)
     }
 
@@ -65,127 +96,88 @@ impl fmt::Display for EdgeId {
     }
 }
 
-/// A sorted node set stored inline when it has at most two members.
-///
-/// The association layer only ever builds tails of one or two nodes and
-/// single-node heads, and the streaming model reassembles tens of
-/// thousands of edges *per slide* — a `Box<[NodeId]>` per set would make
-/// edge insertion allocation-bound. Sets of three or more nodes (the
-/// general Definition 2.9 shape) spill to the heap.
-///
-/// Construction is canonical (a one-element set duplicates its node into
-/// the unused inline slot), so the derived `PartialEq` is set equality.
-#[derive(Debug, Clone, PartialEq)]
-enum NodeSet {
-    Inline(u8, [NodeId; 2]),
-    Heap(Box<[NodeId]>),
-}
-
-impl NodeSet {
-    /// Wraps an already-sorted, duplicate-free slice.
-    fn from_sorted(set: &[NodeId]) -> Self {
-        match *set {
-            [a] => NodeSet::Inline(1, [a, a]),
-            [a, b] => NodeSet::Inline(2, [a, b]),
-            _ => NodeSet::Heap(set.into()),
-        }
-    }
-
-    #[inline]
-    fn as_slice(&self) -> &[NodeId] {
-        match self {
-            NodeSet::Inline(len, nodes) => &nodes[..*len as usize],
-            NodeSet::Heap(nodes) => nodes,
-        }
-    }
-}
-
-/// A weighted directed hyperedge `(T, H)`.
+/// A borrowed view of one weighted directed hyperedge `(T, H)`.
 ///
 /// Invariants (enforced by [`crate::DirectedHypergraph::add_edge`]):
 /// `T ≠ ∅`, `H ≠ ∅`, `T ∩ H = ∅`, and both slices are sorted and duplicate
-/// free.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Hyperedge {
-    tail: NodeSet,
-    head: NodeSet,
+/// free. The view is `Copy` and borrows the graph's compressed edge store
+/// (see the module docs); comparing two views compares set contents and
+/// weight, not storage location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef<'a> {
+    tail: &'a [NodeId],
+    head: &'a [NodeId],
     weight: f64,
 }
 
-impl Hyperedge {
-    /// Builds an edge from already-sorted, duplicate-free, disjoint sets.
-    pub(crate) fn new_unchecked(tail: &[NodeId], head: &[NodeId], weight: f64) -> Self {
-        Hyperedge {
-            tail: NodeSet::from_sorted(tail),
-            head: NodeSet::from_sorted(head),
-            weight,
-        }
+impl<'a> EdgeRef<'a> {
+    /// Assembles a view from already-sorted, duplicate-free, disjoint
+    /// slices (the store guarantees these invariants).
+    #[inline]
+    pub(crate) fn new(tail: &'a [NodeId], head: &'a [NodeId], weight: f64) -> Self {
+        EdgeRef { tail, head, weight }
     }
 
     /// The tail (source) set, sorted ascending.
     #[inline]
-    pub fn tail(&self) -> &[NodeId] {
-        self.tail.as_slice()
+    pub fn tail(self) -> &'a [NodeId] {
+        self.tail
     }
 
     /// The head (destination) set, sorted ascending.
     #[inline]
-    pub fn head(&self) -> &[NodeId] {
-        self.head.as_slice()
+    pub fn head(self) -> &'a [NodeId] {
+        self.head
     }
 
     /// The edge weight (an ACV in the association-mining layer).
     #[inline]
-    pub fn weight(&self) -> f64 {
+    pub fn weight(self) -> f64 {
         self.weight
-    }
-
-    pub(crate) fn set_weight(&mut self, w: f64) {
-        self.weight = w;
     }
 
     /// `|T|`, the tail cardinality.
     #[inline]
-    pub fn tail_len(&self) -> usize {
-        self.tail().len()
+    pub fn tail_len(self) -> usize {
+        self.tail.len()
     }
 
     /// `|H|`, the head cardinality.
     #[inline]
-    pub fn head_len(&self) -> usize {
-        self.head().len()
+    pub fn head_len(self) -> usize {
+        self.head.len()
     }
 
     /// True if `v ∈ T`.
     #[inline]
-    pub fn tail_contains(&self, v: NodeId) -> bool {
-        self.tail().binary_search(&v).is_ok()
+    pub fn tail_contains(self, v: NodeId) -> bool {
+        self.tail.binary_search(&v).is_ok()
     }
 
     /// True if `v ∈ H`.
     #[inline]
-    pub fn head_contains(&self, v: NodeId) -> bool {
-        self.head().binary_search(&v).is_ok()
+    pub fn head_contains(self, v: NodeId) -> bool {
+        self.head.binary_search(&v).is_ok()
     }
 
     /// True if this is a plain directed edge (`|T| = |H| = 1`).
     #[inline]
-    pub fn is_simple(&self) -> bool {
+    pub fn is_simple(self) -> bool {
         self.tail_len() == 1 && self.head_len() == 1
     }
 }
 
-impl fmt::Display for Hyperedge {
+impl fmt::Display for EdgeRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({{")?;
-        for (i, t) in self.tail().iter().enumerate() {
+        for (i, t) in self.tail.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
             write!(f, "{t}")?;
         }
         write!(f, "}} -> {{")?;
-        for (i, h) in self.head().iter().enumerate() {
+        for (i, h) in self.head.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -210,11 +202,9 @@ mod tests {
 
     #[test]
     fn edge_accessors() {
-        let e = Hyperedge::new_unchecked(
-            &[NodeId::new(0), NodeId::new(2)],
-            &[NodeId::new(5)],
-            0.25,
-        );
+        let tail = [NodeId::new(0), NodeId::new(2)];
+        let head = [NodeId::new(5)];
+        let e = EdgeRef::new(&tail, &head, 0.25);
         assert_eq!(e.tail_len(), 2);
         assert_eq!(e.head_len(), 1);
         assert!(e.tail_contains(NodeId::new(2)));
@@ -227,22 +217,22 @@ mod tests {
 
     #[test]
     fn simple_edge_detection() {
-        let e = Hyperedge::new_unchecked(&[NodeId::new(1)], &[NodeId::new(2)], 1.0);
+        let tail = [NodeId::new(1)];
+        let head = [NodeId::new(2)];
+        let e = EdgeRef::new(&tail, &head, 1.0);
         assert!(e.is_simple());
     }
 
     #[test]
-    fn large_sets_spill_to_the_heap_and_compare_equal() {
+    fn views_compare_by_contents() {
         let big: Vec<NodeId> = (0..5).map(NodeId::new).collect();
-        let e = Hyperedge::new_unchecked(&big, &[NodeId::new(9)], 0.5);
+        let big2 = big.clone();
+        let head = [NodeId::new(9)];
+        let e = EdgeRef::new(&big, &head, 0.5);
+        let e2 = EdgeRef::new(&big2, &head, 0.5);
         assert_eq!(e.tail(), &big[..]);
         assert_eq!(e.tail_len(), 5);
         assert!(e.tail_contains(NodeId::new(4)));
-        let e2 = Hyperedge::new_unchecked(&big, &[NodeId::new(9)], 0.5);
         assert_eq!(e, e2);
-        // One-node sets are canonical regardless of construction path.
-        let a = Hyperedge::new_unchecked(&[NodeId::new(3)], &[NodeId::new(4)], 1.0);
-        let b = Hyperedge::new_unchecked(&[NodeId::new(3)], &[NodeId::new(4)], 1.0);
-        assert_eq!(a, b);
     }
 }

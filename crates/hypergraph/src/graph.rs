@@ -1,6 +1,6 @@
 //! The [`DirectedHypergraph`] container.
 
-use crate::edge::{EdgeId, Hyperedge, NodeId};
+use crate::edge::{EdgeId, EdgeRef, NodeId};
 use crate::fx::FxHashMap;
 use std::fmt;
 
@@ -57,6 +57,38 @@ pub struct EdgeInsert {
     pub weight: f64,
 }
 
+/// Marker in an edge record's first lane: the edge's node sets live in
+/// the arena, not inline (a node id of `u32::MAX` cannot occur — see the
+/// `num_nodes` bound asserted in [`DirectedHypergraph::new`]).
+const SPILL: NodeId = NodeId::new(u32::MAX);
+
+/// Byte accounting of a hypergraph's storage (capacities, i.e. what the
+/// allocator actually holds). The serving layer and `perf_summary`
+/// report these next to the counting-state byte accounting of
+/// `incremental_stats`, so the RSS trajectory of wide universes is
+/// attributable structure by structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HypergraphMemory {
+    /// The packed 12-byte edge records.
+    pub edge_record_bytes: usize,
+    /// The `f64` weight array.
+    pub weight_bytes: usize,
+    /// The spill arena holding >2-node tails and multi-node heads.
+    pub arena_bytes: usize,
+    /// Both incidence indexes: per-node edge-id vectors plus their
+    /// `Vec` headers.
+    pub incidence_bytes: usize,
+    /// Total incidence entries (`Σ_e |T(e)| + |H(e)|`).
+    pub incidence_entries: usize,
+}
+
+impl HypergraphMemory {
+    /// Sum over all tracked structures.
+    pub fn total_bytes(&self) -> usize {
+        self.edge_record_bytes + self.weight_bytes + self.arena_bytes + self.incidence_bytes
+    }
+}
+
 /// A weighted directed hypergraph over a fixed node range `0..num_nodes`.
 ///
 /// Maintains incidence indexes in both directions:
@@ -71,24 +103,43 @@ pub struct EdgeInsert {
 /// of thousands of edges via [`DirectedHypergraph::add_edge_unchecked`] and
 /// never pays for hashing them; once built, the index is kept in sync by
 /// every subsequent insertion.
+///
+/// # Compressed edge store
+///
+/// Edges live in flat edge-id-indexed arrays (see the `edge` module's
+/// docs): a 12-byte packed record per edge — `[t0, t1, h]` for
+/// the association layer's ≤2-node tails and 1-node heads, with
+/// `t1 == t0` encoding `|T| = 1` — plus an 8-byte weight. General
+/// Definition 2.9 edges spill their sorted node lists into a shared
+/// `arena` and store an `(offset, lens)` descriptor instead. Because an
+/// edge's id **is** its position in these arrays, there is no
+/// slab/order indirection: [`DirectedHypergraph::splice_edges`]
+/// renumbers survivors by memcpy-ing the record runs between splice
+/// points, and [`DirectedHypergraph::reset_edges`] /
+/// [`DirectedHypergraph::truncate_edges`] are plain truncations that
+/// keep allocations live for the streaming model's per-slide reuse.
 #[derive(Debug, Default)]
 pub struct DirectedHypergraph {
     num_nodes: usize,
-    /// Stable edge slab: an edge's slot never moves while it lives, so
-    /// [`DirectedHypergraph::splice_edges`] renumbers ids by rearranging
-    /// the (memcpy-friendly) `order` vector instead of moving edges.
-    /// Slots of removed edges are recycled via `free`.
-    edges: Vec<Hyperedge>,
-    /// `order[id] = slot` — edge ids are positions in this vector.
-    order: Vec<u32>,
-    /// Recyclable slab slots of removed edges.
-    free: Vec<u32>,
+    /// Packed per-edge record, indexed by edge id: `[t0, t1, h]` inline
+    /// (sorted; `t1 == t0` means a 1-node tail), or
+    /// `[SPILL, offset, (tail_len << 16) | head_len]` with the node
+    /// lists at `arena[offset..]` (tail first, then head).
+    packed: Vec<[NodeId; 3]>,
+    /// Edge weights, indexed by edge id.
+    weights: Vec<f64>,
+    /// Node lists of spilled (>2-node tail or multi-node head) edges.
+    arena: Vec<NodeId>,
+    /// Live (referenced) arena entries; the rest is garbage awaiting
+    /// [`DirectedHypergraph::maybe_compact_arena`].
+    arena_live: usize,
     out_edges: Vec<Vec<EdgeId>>,
     in_edges: Vec<Vec<EdgeId>>,
     index: std::sync::OnceLock<FxHashMap<EdgeKey, EdgeId>>,
-    /// Double buffer for [`DirectedHypergraph::splice_edges`]'s order
-    /// rebuild — per-slide splices reuse its allocation.
-    order_scratch: Vec<u32>,
+    /// Double buffers for [`DirectedHypergraph::splice_edges`]'s record
+    /// rebuild — per-slide splices reuse their allocations.
+    packed_scratch: Vec<[NodeId; 3]>,
+    weights_scratch: Vec<f64>,
 }
 
 impl Clone for DirectedHypergraph {
@@ -99,13 +150,15 @@ impl Clone for DirectedHypergraph {
         }
         DirectedHypergraph {
             num_nodes: self.num_nodes,
-            edges: self.edges.clone(),
-            order: self.order.clone(),
-            free: self.free.clone(),
+            packed: self.packed.clone(),
+            weights: self.weights.clone(),
+            arena: self.arena.clone(),
+            arena_live: self.arena_live,
             out_edges: self.out_edges.clone(),
             in_edges: self.in_edges.clone(),
             index,
-            order_scratch: Vec::new(),
+            packed_scratch: Vec::new(),
+            weights_scratch: Vec::new(),
         }
     }
 }
@@ -113,39 +166,46 @@ impl Clone for DirectedHypergraph {
 impl DirectedHypergraph {
     /// Creates an empty hypergraph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes < u32::MAX as usize,
+            "node ids are u32 (and u32::MAX is the spill marker)"
+        );
         DirectedHypergraph {
             num_nodes,
-            edges: Vec::new(),
-            order: Vec::new(),
-            free: Vec::new(),
+            packed: Vec::new(),
+            weights: Vec::new(),
+            arena: Vec::new(),
+            arena_live: 0,
             out_edges: vec![Vec::new(); num_nodes],
             in_edges: vec![Vec::new(); num_nodes],
             index: std::sync::OnceLock::new(),
-            order_scratch: Vec::new(),
+            packed_scratch: Vec::new(),
+            weights_scratch: Vec::new(),
         }
     }
 
     /// Creates an empty hypergraph, pre-allocating for `num_edges` edges.
     pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
         let mut g = Self::new(num_nodes);
-        g.edges.reserve(num_edges);
-        g.order.reserve(num_edges);
+        g.packed.reserve(num_edges);
+        g.weights.reserve(num_edges);
         g
     }
 
     /// Reserves room for `additional` more edges in the edge store.
     pub fn reserve_edges(&mut self, additional: usize) {
-        self.edges.reserve(additional);
-        self.order.reserve(additional);
+        self.packed.reserve(additional);
+        self.weights.reserve(additional);
     }
 
     /// Removes every edge while keeping the node range and the allocations
     /// of the edge store and both incidence indexes — the streaming model
     /// reassembles its graph in place once per slide.
     pub fn reset_edges(&mut self) {
-        self.edges.clear();
-        self.order.clear();
-        self.free.clear();
+        self.packed.clear();
+        self.weights.clear();
+        self.arena.clear();
+        self.arena_live = 0;
         for star in &mut self.out_edges {
             star.clear();
         }
@@ -153,6 +213,28 @@ impl DirectedHypergraph {
             star.clear();
         }
         self.index = std::sync::OnceLock::new();
+    }
+
+    /// Drops every edge with id `≥ len` while keeping the first `len`
+    /// edges (and their ids) intact — the rollback/retire primitive over
+    /// the compressed store. Incidence lists are sorted by id, so each
+    /// star truncates at one partition point; spilled node lists of
+    /// dropped edges are released to the arena compactor.
+    pub fn truncate_edges(&mut self, len: usize) {
+        if len >= self.packed.len() {
+            return;
+        }
+        for o in len..self.packed.len() {
+            self.release_arena(o);
+        }
+        self.packed.truncate(len);
+        self.weights.truncate(len);
+        for star in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            let keep = star.partition_point(|id| id.index() < len);
+            star.truncate(keep);
+        }
+        self.index = std::sync::OnceLock::new();
+        self.maybe_compact_arena();
     }
 
     /// Applies a sorted batch of edge removals and insertions while
@@ -166,30 +248,42 @@ impl DirectedHypergraph {
     /// [`DirectedHypergraph::add_edge_unchecked`]. The result is
     /// identical to rebuilding with the merged edge sequence, but costs
     /// `O(ops · star)` for the touched edges plus one contiguous
-    /// id-shift pass over the incidence lists and one pass over the edge
-    /// store.
+    /// id-shift pass over the incidence lists and one memcpy pass over
+    /// the packed record and weight arrays.
     pub fn splice_edges(&mut self, removes: &[EdgeId], inserts: &[EdgeInsert]) {
         if removes.is_empty() && inserts.is_empty() {
             return;
         }
         debug_assert!(removes.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(inserts.windows(2).all(|w| w[0].new_id < w[1].new_id));
-        let old_len = self.order.len();
+        let old_len = self.packed.len();
 
         // 1. Drop the removed edges' incidence entries (pre-splice ids).
         for &id in removes {
-            let slot = self.slot(id);
-            for s in 0..self.edges[slot].tail_len() {
-                let t = self.edges[slot].tail()[s];
-                let star = &mut self.out_edges[t.index()];
+            let rec = self.packed[id.index()];
+            if rec[0] != SPILL {
+                let tlen = if rec[0] == rec[1] { 1 } else { 2 };
+                for &t in &rec[..tlen] {
+                    let star = &mut self.out_edges[t.index()];
+                    let pos = star.binary_search(&id).expect("incidence entry exists");
+                    star.remove(pos);
+                }
+                let star = &mut self.in_edges[rec[2].index()];
                 let pos = star.binary_search(&id).expect("incidence entry exists");
                 star.remove(pos);
-            }
-            for s in 0..self.edges[slot].head_len() {
-                let h = self.edges[slot].head()[s];
-                let star = &mut self.in_edges[h.index()];
-                let pos = star.binary_search(&id).expect("incidence entry exists");
-                star.remove(pos);
+            } else {
+                let off = rec[1].raw() as usize;
+                let (tlen, hlen) = ((rec[2].raw() >> 16) as usize, (rec[2].raw() & 0xffff) as usize);
+                for s in 0..tlen + hlen {
+                    let v = self.arena[off + s];
+                    let star = if s < tlen {
+                        &mut self.out_edges[v.index()]
+                    } else {
+                        &mut self.in_edges[v.index()]
+                    };
+                    let pos = star.binary_search(&id).expect("incidence entry exists");
+                    star.remove(pos);
+                }
             }
         }
 
@@ -319,26 +413,28 @@ impl DirectedHypergraph {
             }
         }
 
-        // 4. Splice the order vector. Edges themselves never move —
-        // removed edges free their slab slot, inserted ones fill freed
-        // slots — and surviving runs between splice points are copied
-        // with `extend_from_slice` (plain `u32` memcpy) into the double
-        // buffer.
-        for &id in removes {
-            self.free.push(self.order[id.index()]);
-        }
-        let mut order = std::mem::take(&mut self.order_scratch);
-        order.clear();
-        order.reserve(old_len - removes.len() + inserts.len());
+        // 4. Rebuild the packed record and weight arrays into the double
+        // buffers: surviving runs between splice points are copied with
+        // `extend_from_slice` (plain POD memcpy — edge ids are positions,
+        // so the copy *is* the renumbering), inserted edges pack in
+        // place, removed spilled edges release their arena spans.
+        let mut packed = std::mem::take(&mut self.packed_scratch);
+        let mut weights = std::mem::take(&mut self.weights_scratch);
+        packed.clear();
+        weights.clear();
+        let new_len = old_len - removes.len() + inserts.len();
+        packed.reserve(new_len);
+        weights.reserve(new_len);
         {
             let (mut i_rm, mut i_in) = (0usize, 0usize);
             let mut o = 0usize;
             loop {
-                while i_in < inserts.len() && inserts[i_in].new_id.index() == order.len() {
+                while i_in < inserts.len() && inserts[i_in].new_id.index() == packed.len() {
                     let ins = &inserts[i_in];
-                    let e = Hyperedge::new_unchecked(&ins.tail, &ins.head, ins.weight);
-                    let slot = self.alloc_slot(e);
-                    order.push(slot);
+                    let rec =
+                        pack_record(&ins.tail, &ins.head, &mut self.arena, &mut self.arena_live);
+                    packed.push(rec);
+                    weights.push(ins.weight);
                     i_in += 1;
                 }
                 if o >= old_len {
@@ -351,20 +447,23 @@ impl DirectedHypergraph {
                     .unwrap_or(old_len);
                 let next_in = inserts
                     .get(i_in)
-                    .map(|q| o + (q.new_id.index() - order.len()))
+                    .map(|q| o + (q.new_id.index() - packed.len()))
                     .unwrap_or(old_len);
                 let end = next_rm.min(next_in).min(old_len);
-                order.extend_from_slice(&self.order[o..end]);
+                packed.extend_from_slice(&self.packed[o..end]);
+                weights.extend_from_slice(&self.weights[o..end]);
                 o = end;
                 if o == next_rm && o < old_len {
-                    // Slot already freed above; skip the removed id.
+                    self.release_arena(o);
                     o += 1;
                     i_rm += 1;
                 }
             }
             debug_assert_eq!(i_in, inserts.len(), "insert ids must be dense");
         }
-        self.order_scratch = std::mem::replace(&mut self.order, order);
+        self.packed_scratch = std::mem::replace(&mut self.packed, packed);
+        self.weights_scratch = std::mem::replace(&mut self.weights, weights);
+        self.maybe_compact_arena();
 
         // 5. Register the inserted edges' incidence (post-splice ids).
         for ins in inserts {
@@ -385,11 +484,44 @@ impl DirectedHypergraph {
         self.index = std::sync::OnceLock::new();
     }
 
+    /// Returns dropped edge `o`'s arena span (if spilled) to the garbage
+    /// count so [`DirectedHypergraph::maybe_compact_arena`] can reclaim
+    /// it.
+    #[inline]
+    fn release_arena(&mut self, o: usize) {
+        let rec = self.packed[o];
+        if rec[0] == SPILL {
+            let lens = rec[2].raw();
+            self.arena_live -= ((lens >> 16) + (lens & 0xffff)) as usize;
+        }
+    }
+
+    /// Rewrites the arena without the garbage spans of dropped edges once
+    /// garbage dominates. The association layer's edges are all inline,
+    /// so this is cold code that only general >2-node workloads reach.
+    fn maybe_compact_arena(&mut self) {
+        if self.arena.len() <= 2 * self.arena_live.max(32) {
+            return;
+        }
+        let mut fresh: Vec<NodeId> = Vec::with_capacity(self.arena_live);
+        for rec in &mut self.packed {
+            if rec[0] == SPILL {
+                let off = rec[1].raw() as usize;
+                let lens = rec[2].raw();
+                let len = ((lens >> 16) + (lens & 0xffff)) as usize;
+                rec[1] = NodeId::new(fresh.len() as u32);
+                fresh.extend_from_slice(&self.arena[off..off + len]);
+            }
+        }
+        debug_assert_eq!(fresh.len(), self.arena_live);
+        self.arena = fresh;
+    }
+
     /// The exact-match index, built on first use (`O(|E|)` once).
     fn index_map(&self) -> &FxHashMap<EdgeKey, EdgeId> {
         self.index.get_or_init(|| {
             let mut map = FxHashMap::default();
-            map.reserve(self.order.len());
+            map.reserve(self.packed.len());
             for (id, e) in self.edges() {
                 map.insert((e.tail().into(), e.head().into()), id);
             }
@@ -413,29 +545,7 @@ impl DirectedHypergraph {
     /// Number of directed hyperedges `|E|`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.order.len()
-    }
-
-    /// The slab slot of edge `id`.
-    #[inline]
-    fn slot(&self, id: EdgeId) -> usize {
-        self.order[id.index()] as usize
-    }
-
-    /// Stores `e` in a free slab slot (recycling removed edges' slots)
-    /// and returns the slot.
-    #[inline]
-    fn alloc_slot(&mut self, e: Hyperedge) -> u32 {
-        match self.free.pop() {
-            Some(s) => {
-                self.edges[s as usize] = e;
-                s
-            }
-            None => {
-                self.edges.push(e);
-                (self.edges.len() - 1) as u32
-            }
-        }
+        self.packed.len()
     }
 
     /// All node ids, in order.
@@ -443,18 +553,34 @@ impl DirectedHypergraph {
         (0..self.num_nodes as u32).map(NodeId::new)
     }
 
-    /// All `(EdgeId, &Hyperedge)` pairs, in insertion order.
-    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Hyperedge)> + '_ {
-        self.order
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (EdgeId::new(i as u32), &self.edges[s as usize]))
+    /// All `(EdgeId, EdgeRef)` pairs, in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, EdgeRef<'_>)> + '_ {
+        (0..self.packed.len()).map(|i| (EdgeId::new(i as u32), self.edge_at(i)))
     }
 
     /// The edge with the given id. Panics if out of range.
     #[inline]
-    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
-        &self.edges[self.slot(id)]
+    pub fn edge(&self, id: EdgeId) -> EdgeRef<'_> {
+        self.edge_at(id.index())
+    }
+
+    /// Decodes the record at position `i` into a borrowed view.
+    #[inline]
+    fn edge_at(&self, i: usize) -> EdgeRef<'_> {
+        let rec = &self.packed[i];
+        let w = self.weights[i];
+        if rec[0] != SPILL {
+            let tlen = if rec[0] == rec[1] { 1 } else { 2 };
+            EdgeRef::new(&rec[..tlen], std::slice::from_ref(&rec[2]), w)
+        } else {
+            let off = rec[1].raw() as usize;
+            let (tlen, hlen) = ((rec[2].raw() >> 16) as usize, (rec[2].raw() & 0xffff) as usize);
+            EdgeRef::new(
+                &self.arena[off..off + tlen],
+                &self.arena[off + tlen..off + tlen + hlen],
+                w,
+            )
+        }
     }
 
     /// Forward star: ids of edges whose tail contains `v`.
@@ -467,6 +593,24 @@ impl DirectedHypergraph {
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
         &self.in_edges[v.index()]
+    }
+
+    /// Byte accounting of the live storage (see [`HypergraphMemory`]).
+    pub fn memory(&self) -> HypergraphMemory {
+        let vec_header = std::mem::size_of::<Vec<EdgeId>>();
+        let mut incidence_bytes = 2 * self.num_nodes * vec_header;
+        let mut incidence_entries = 0usize;
+        for star in self.out_edges.iter().chain(self.in_edges.iter()) {
+            incidence_bytes += star.capacity() * std::mem::size_of::<EdgeId>();
+            incidence_entries += star.len();
+        }
+        HypergraphMemory {
+            edge_record_bytes: self.packed.capacity() * std::mem::size_of::<[NodeId; 3]>(),
+            weight_bytes: self.weights.capacity() * std::mem::size_of::<f64>(),
+            arena_bytes: self.arena.capacity() * std::mem::size_of::<NodeId>(),
+            incidence_bytes,
+            incidence_entries,
+        }
     }
 
     fn validate_set(&self, set: &[NodeId]) -> Result<Box<[NodeId]>, HypergraphError> {
@@ -556,7 +700,7 @@ impl DirectedHypergraph {
     /// exact-match index has been built, it is kept in sync; otherwise no
     /// hashing happens at all.
     fn push_edge_unchecked(&mut self, tail: &[NodeId], head: &[NodeId], weight: f64) -> EdgeId {
-        let id = EdgeId::new(self.order.len() as u32);
+        let id = EdgeId::new(self.packed.len() as u32);
         for &t in tail.iter() {
             self.out_edges[t.index()].push(id);
         }
@@ -566,8 +710,9 @@ impl DirectedHypergraph {
         if let Some(map) = self.index.get_mut() {
             map.insert((tail.into(), head.into()), id);
         }
-        let slot = self.alloc_slot(Hyperedge::new_unchecked(tail, head, weight));
-        self.order.push(slot);
+        let rec = pack_record(tail, head, &mut self.arena, &mut self.arena_live);
+        self.packed.push(rec);
+        self.weights.push(weight);
         id
     }
 
@@ -593,8 +738,7 @@ impl DirectedHypergraph {
         if !weight.is_finite() {
             return Err(HypergraphError::NonFiniteWeight);
         }
-        let slot = self.slot(id);
-        self.edges[slot].set_weight(weight);
+        self.weights[id.index()] = weight;
         Ok(())
     }
 
@@ -640,7 +784,7 @@ impl DirectedHypergraph {
     /// `add_edge`'s per-edge re-sort and re-validation.
     pub fn filter_edges<F>(&self, mut pred: F) -> DirectedHypergraph
     where
-        F: FnMut(EdgeId, &Hyperedge) -> bool,
+        F: FnMut(EdgeId, EdgeRef<'_>) -> bool,
     {
         let mut g = DirectedHypergraph::new(self.num_nodes);
         for (id, e) in self.edges() {
@@ -663,10 +807,10 @@ impl DirectedHypergraph {
     /// This implements the paper's "top X% directed hyperedges w.r.t. ACVs"
     /// threshold selection (Section 5.4).
     pub fn weight_percentile_threshold(&self, fraction: f64) -> Option<f64> {
-        if self.order.is_empty() || fraction <= 0.0 {
+        if self.packed.is_empty() || fraction <= 0.0 {
             return None;
         }
-        let mut ws: Vec<f64> = self.edges().map(|(_, e)| e.weight()).collect();
+        let mut ws: Vec<f64> = self.weights.clone();
         ws.sort_unstable_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
         let keep = ((ws.len() as f64 * fraction).ceil() as usize).clamp(1, ws.len());
         Some(ws[keep - 1])
@@ -674,15 +818,46 @@ impl DirectedHypergraph {
 
     /// Total edge weight.
     pub fn total_weight(&self) -> f64 {
-        self.edges().map(|(_, e)| e.weight()).sum()
+        self.weights.iter().sum()
     }
 
     /// Mean edge weight, or `None` if there are no edges.
     pub fn mean_weight(&self) -> Option<f64> {
-        if self.order.is_empty() {
+        if self.packed.is_empty() {
             None
         } else {
-            Some(self.total_weight() / self.order.len() as f64)
+            Some(self.total_weight() / self.packed.len() as f64)
+        }
+    }
+}
+
+/// Encodes one edge into its packed record, spilling general sets into
+/// `arena`. Inputs are sorted, duplicate-free, and disjoint.
+#[inline]
+fn pack_record(
+    tail: &[NodeId],
+    head: &[NodeId],
+    arena: &mut Vec<NodeId>,
+    arena_live: &mut usize,
+) -> [NodeId; 3] {
+    match (tail, head) {
+        (&[a], &[h]) => [a, a, h],
+        (&[a, b], &[h]) => [a, b, h],
+        _ => {
+            assert!(
+                tail.len() <= u16::MAX as usize && head.len() <= u16::MAX as usize,
+                "spilled set length exceeds the packed u16 descriptor"
+            );
+            let off = arena.len();
+            assert!(off <= u32::MAX as usize, "arena offset exceeds u32");
+            arena.extend_from_slice(tail);
+            arena.extend_from_slice(head);
+            *arena_live += tail.len() + head.len();
+            [
+                SPILL,
+                NodeId::new(off as u32),
+                NodeId::new(((tail.len() as u32) << 16) | head.len() as u32),
+            ]
         }
     }
 }
@@ -824,6 +999,45 @@ mod tests {
     }
 
     #[test]
+    fn truncate_edges_keeps_a_prefix_bit_identically() {
+        let mut g = DirectedHypergraph::new(5);
+        g.add_edge(&[n(0)], &[n(1)], 0.1).unwrap();
+        g.add_edge(&[n(1), n(2)], &[n(3)], 0.2).unwrap();
+        // A spilled edge inside and one outside the kept prefix.
+        g.add_edge(&[n(0), n(1), n(2)], &[n(4)], 0.3).unwrap();
+        g.add_edge(&[n(2)], &[n(0)], 0.4).unwrap();
+        g.add_edge(&[n(1), n(3), n(4)], &[n(0)], 0.5).unwrap();
+        g.truncate_edges(3);
+        assert_eq!(g.num_edges(), 3);
+        let mut expected = DirectedHypergraph::new(5);
+        expected.add_edge(&[n(0)], &[n(1)], 0.1).unwrap();
+        expected.add_edge(&[n(1), n(2)], &[n(3)], 0.2).unwrap();
+        expected.add_edge(&[n(0), n(1), n(2)], &[n(4)], 0.3).unwrap();
+        for (id, e) in expected.edges() {
+            let s = g.edge(id);
+            assert_eq!(e.tail(), s.tail(), "{id}");
+            assert_eq!(e.head(), s.head(), "{id}");
+            assert_eq!(e.weight(), s.weight(), "{id}");
+        }
+        for v in 0..5u32 {
+            assert_eq!(g.out_edges(n(v)), expected.out_edges(n(v)), "out star {v}");
+            assert_eq!(g.in_edges(n(v)), expected.in_edges(n(v)), "in star {v}");
+        }
+        // The rebuilt lazy index only knows the kept prefix.
+        assert_eq!(g.find_edge(&[n(2)], &[n(0)]), None);
+        assert!(g.find_edge(&[n(0), n(1), n(2)], &[n(4)]).is_some());
+        // Truncating past the end is a no-op.
+        g.truncate_edges(10);
+        assert_eq!(g.num_edges(), 3);
+        // Truncating to zero leaves a working empty graph.
+        g.truncate_edges(0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.out_edges(n(1)).is_empty());
+        let e = g.add_edge(&[n(4)], &[n(0)], 0.9).unwrap();
+        assert_eq!(e, EdgeId::new(0));
+    }
+
+    #[test]
     fn splice_edges_matches_a_from_scratch_rebuild() {
         // Deterministic pseudo-random edge soups; every splice result is
         // compared edge-for-edge (ids, sets, weights, incidence) against
@@ -930,6 +1144,89 @@ mod tests {
     }
 
     #[test]
+    fn splice_edges_with_spilled_sets_matches_a_rebuild() {
+        // General Definition 2.9 edges (3-node tails, 2-node heads) force
+        // the arena path through removal, survival (with renumbering),
+        // and insertion — plus enough churn to trigger compaction.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let nodes = 8usize;
+        let mut combos: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        for a in 0..nodes as u32 {
+            for b in (a + 1)..nodes as u32 {
+                for c in (b + 1)..nodes as u32 {
+                    for h in 0..nodes as u32 {
+                        if h != a && h != b && h != c {
+                            combos.push((vec![n(a), n(b), n(c)], vec![n(h)]));
+                            let h2 = (h + 1) % nodes as u32;
+                            if h2 != a && h2 != b && h2 != c && h2 > h {
+                                combos.push((vec![n(a), n(b), n(c)], vec![n(h), n(h2)]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut expected: Vec<(Vec<NodeId>, Vec<NodeId>, f64)> = Vec::new();
+        let mut g = DirectedHypergraph::new(nodes);
+        let mut next_combo = 0usize;
+        for round in 0..25 {
+            // Remove a random subset.
+            let removes: Vec<EdgeId> = (0..expected.len())
+                .filter(|_| rng() % 3 == 0)
+                .map(|i| EdgeId::new(i as u32))
+                .collect();
+            let mut survivors: Vec<(Vec<NodeId>, Vec<NodeId>, f64)> = expected
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removes.iter().any(|r| r.index() == *i))
+                .map(|(_, e)| e.clone())
+                .collect();
+            // Insert a few fresh spilled edges at random final positions.
+            let n_ins = 1 + (rng() % 3) as usize;
+            for _ in 0..n_ins {
+                let (t, h) = combos[next_combo].clone();
+                next_combo += 1;
+                let pos = (rng() as usize) % (survivors.len() + 1);
+                survivors.insert(pos, (t, h, 10.0 + next_combo as f64));
+            }
+            let mut inserts = Vec::new();
+            for (pos, (t, h, w)) in survivors.iter().enumerate() {
+                if *w >= 10.0 && !expected.iter().any(|(et, eh, _)| et == t && eh == h) {
+                    inserts.push(EdgeInsert {
+                        new_id: EdgeId::new(pos as u32),
+                        tail: t.clone(),
+                        head: h.clone(),
+                        weight: *w,
+                    });
+                }
+            }
+            g.splice_edges(&removes, &inserts);
+            expected = survivors;
+            assert_eq!(g.num_edges(), expected.len(), "round {round}");
+            let mut rebuilt = DirectedHypergraph::new(nodes);
+            for (t, h, w) in &expected {
+                rebuilt.add_edge_unchecked(t, h, *w);
+            }
+            for (id, e) in rebuilt.edges() {
+                let s = g.edge(id);
+                assert_eq!(e.tail(), s.tail(), "round {round}, {id}");
+                assert_eq!(e.head(), s.head(), "round {round}, {id}");
+                assert_eq!(e.weight(), s.weight(), "round {round}, {id}");
+            }
+            for v in 0..nodes as u32 {
+                assert_eq!(g.out_edges(n(v)), rebuilt.out_edges(n(v)), "round {round}");
+                assert_eq!(g.in_edges(n(v)), rebuilt.in_edges(n(v)), "round {round}");
+            }
+        }
+    }
+
+    #[test]
     fn splice_edges_noop_and_pure_cases() {
         let mut g = DirectedHypergraph::new(3);
         let e0 = g.add_edge(&[n(0)], &[n(1)], 0.1).unwrap();
@@ -994,5 +1291,24 @@ mod tests {
         assert_eq!(g.in_degree(n(1)), 1);
         assert_eq!(g.in_degree(n(2)), 1);
         assert!((g.weighted_in_degree(n(1)) - 0.3).abs() < 1e-12);
+        assert_eq!(g.edge(EdgeId::new(0)).head(), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_all_structures() {
+        let mut g = DirectedHypergraph::new(4);
+        g.add_edge(&[n(0), n(1)], &[n(2)], 0.4).unwrap();
+        g.add_edge(&[n(0), n(1), n(2)], &[n(3)], 0.6).unwrap();
+        let mem = g.memory();
+        assert!(mem.edge_record_bytes >= 2 * 12);
+        assert!(mem.weight_bytes >= 2 * 8);
+        assert!(mem.arena_bytes >= 4 * 4, "spilled 3+1 nodes");
+        // 2 + 1 (edge 0) + 3 + 1 (edge 1) incidence entries.
+        assert_eq!(mem.incidence_entries, 7);
+        assert!(mem.incidence_bytes >= 7 * 4);
+        assert_eq!(
+            mem.total_bytes(),
+            mem.edge_record_bytes + mem.weight_bytes + mem.arena_bytes + mem.incidence_bytes
+        );
     }
 }

@@ -28,6 +28,6 @@ mod graph;
 pub mod stats;
 mod traversal;
 
-pub use edge::{EdgeId, Hyperedge, NodeId};
-pub use graph::{DirectedHypergraph, EdgeInsert, HypergraphError};
+pub use edge::{EdgeId, EdgeRef, NodeId};
+pub use graph::{DirectedHypergraph, EdgeInsert, HypergraphError, HypergraphMemory};
 pub use traversal::{b_reachable, one_step_cover};

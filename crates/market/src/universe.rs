@@ -58,13 +58,17 @@ pub struct Universe {
 
 impl Universe {
     /// Builds the paper-shaped universe with `n` tickers (clamped to
-    /// `12..=346`). The ~60 tickers the paper names come first (as many as
-    /// fit the per-sector quota), then synthetic symbols fill each sector.
+    /// `12..=2048`). The ~60 tickers the paper names come first (as many
+    /// as fit the per-sector quota), then synthetic symbols fill each
+    /// sector. Above the real 346-ticker shape the per-sector quotas
+    /// keep scaling proportionally and sub-sectors keep wrapping, so
+    /// wide-universe fixtures (the n = 500 memory gate) stay
+    /// sector-structured rather than i.i.d. noise.
     ///
     /// Sub-sectors are assigned round-robin within each sector, so every
     /// sub-sector with enough tickers has at least a few members.
     pub fn sp500(n: usize) -> Universe {
-        let n = n.clamp(12, 346);
+        let n = n.clamp(12, 2048);
         // Scale per-sector counts down proportionally, keeping >= 1 each.
         let total: usize = SECTOR_COUNTS.iter().sum();
         let mut counts = [0usize; 12];
@@ -267,7 +271,23 @@ mod tests {
     #[test]
     fn clamping() {
         assert_eq!(Universe::sp500(1).len(), 12);
-        assert_eq!(Universe::sp500(10_000).len(), 346);
+        assert_eq!(Universe::sp500(10_000).len(), 2048);
+    }
+
+    #[test]
+    fn wide_universe_stays_sector_structured() {
+        let u = Universe::sp500(500);
+        assert_eq!(u.len(), 500);
+        let mut syms = u.symbols();
+        syms.sort();
+        syms.dedup();
+        assert_eq!(syms.len(), 500, "symbols stay unique past 346");
+        for s in Sector::ALL {
+            assert!(!u.sector_members(s).is_empty(), "sector {s} empty");
+        }
+        for t in u.tickers() {
+            assert_eq!(u.subsector_sector(t.subsector), t.sector);
+        }
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub mod writer;
 pub use cell::{ArcCell, ReaderHandle, SnapshotGuard};
 pub use host::{ServeHost, StreamCmd, WriterStats};
 pub use sim::{FeedConfig, MarketFeed};
-pub use snapshot::{ModelSnapshot, QueryScratch, SnapshotSpec};
+pub use snapshot::{ModelSnapshot, QueryScratch, SnapshotMemory, SnapshotSpec};
 pub use throughput::{measure_qps, scaling_runs, QpsRun};
 pub use writer::ModelServer;

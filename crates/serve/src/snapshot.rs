@@ -30,7 +30,7 @@ use hypermine_core::{
 };
 use hypermine_data::{AttrId, Database, Value};
 use hypermine_hypergraph::stats::DegreeStats;
-use hypermine_hypergraph::{DirectedHypergraph, EdgeId, Hyperedge, NodeId};
+use hypermine_hypergraph::{DirectedHypergraph, EdgeId, EdgeRef, HypergraphMemory, NodeId};
 
 use hypermine_core::AssociationTable;
 
@@ -74,6 +74,31 @@ pub struct QueryScratch {
     /// After a successful predict it holds the same bits
     /// `Prediction::scores` would.
     pub scores: Vec<f64>,
+}
+
+/// Itemized resident bytes of one [`ModelSnapshot`] — the
+/// `incremental_stats()`-style byte accounting extended across the
+/// serving layer, with the hypergraph side further itemized by
+/// [`HypergraphMemory`] (edge records, weights, arena spill, and the
+/// incidence lists that dominate wide-universe windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMemory {
+    /// The snapshot's hypergraph, itemized (incidence included).
+    pub graph: HypergraphMemory,
+    /// The pre-materialized voting tables (the classifier's hot set).
+    pub table_bytes: usize,
+    /// Every other serving index: CSR rankings, best-edge vectors,
+    /// dominator set + membership flags, and the pre-ranked rules.
+    pub index_bytes: usize,
+}
+
+impl SnapshotMemory {
+    /// Total bytes across the graph and all serving indexes (the
+    /// window's database is accounted separately — it is shared with
+    /// the writer, not owned by the snapshot's indexes).
+    pub fn total_bytes(&self) -> usize {
+        self.graph.total_bytes() + self.table_bytes + self.index_bytes
+    }
 }
 
 /// An immutable, epoch-tagged view of one window's association model
@@ -327,7 +352,7 @@ impl ModelSnapshot {
     }
 
     /// The edge behind an id (borrowed from the snapshot's graph).
-    pub fn edge(&self, id: EdgeId) -> &Hyperedge {
+    pub fn edge(&self, id: EdgeId) -> EdgeRef<'_> {
         self.graph.edge(id)
     }
 
@@ -438,6 +463,33 @@ impl ModelSnapshot {
         match self.predict_into(scratch, row, target) {
             Some((v, _)) => v,
             None => self.majority_value(target).unwrap_or(1),
+        }
+    }
+
+    /// Itemized resident bytes of this snapshot (see
+    /// [`SnapshotMemory`]). `perf_summary` reports these per epoch so
+    /// the wide-fixture RSS gate can attribute growth to incidence
+    /// storage vs serving indexes instead of guessing from process RSS.
+    pub fn memory(&self) -> SnapshotMemory {
+        let table_bytes: usize = self
+            .relevant_tables
+            .iter()
+            .map(|t| std::mem::size_of::<AssociationTable>() + t.heap_bytes())
+            .sum();
+        let index_bytes = self.dominator.capacity() * std::mem::size_of::<NodeId>()
+            + self.in_dominator.capacity()
+            + self.known.capacity() * std::mem::size_of::<AttrId>()
+            + (self.best_in.capacity() + self.best_in_hyper.capacity())
+                * std::mem::size_of::<Option<EdgeId>>()
+            + (self.ranked_offsets.capacity() + self.relevant_offsets.capacity()) * 4
+            + self.ranked_edges.capacity() * std::mem::size_of::<EdgeId>()
+            + self.rules.capacity() * std::mem::size_of::<MinedRule>()
+            + self.baseline.capacity() * 8
+            + self.majority.capacity() * std::mem::size_of::<Option<Value>>();
+        SnapshotMemory {
+            graph: self.graph.memory(),
+            table_bytes,
+            index_bytes,
         }
     }
 
@@ -620,6 +672,30 @@ mod tests {
         };
         let s = ModelSnapshot::build(&m, &spec);
         assert_eq!(s.top_rules(), &top_rules(&m, 0.0, 0.0, 8)[..]);
+    }
+
+    #[test]
+    fn memory_itemizes_graph_tables_and_indexes() {
+        let d = db();
+        let m = AssociationModel::build(&d, &ModelConfig::default()).unwrap();
+        let s = snap(&m);
+        let mem = s.memory();
+        assert_eq!(
+            mem.graph.total_bytes(),
+            s.graph().memory().total_bytes(),
+            "graph side is the hypergraph's own accounting"
+        );
+        assert!(mem.graph.incidence_bytes > 0, "incidence is itemized");
+        assert!(mem.index_bytes > 0, "CSR rankings are counted");
+        let tables: usize = d
+            .attrs()
+            .map(|a| s.relevant_tables(a).len())
+            .sum();
+        assert_eq!(tables > 0, mem.table_bytes > 0);
+        assert_eq!(
+            mem.total_bytes(),
+            mem.graph.total_bytes() + mem.table_bytes + mem.index_bytes
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! edge ids at every thread count (both passes run parallel).
 
 use hypermine::core::{
-    AssociationModel, CountStrategy, CountingEngine, HeadCounter, ModelConfig,
+    AssociationModel, CountStrategy, CountingEngine, HeadCounter, KernelPath, ModelConfig,
 };
 use hypermine::data::{AttrId, Database, PairBuckets};
 use proptest::prelude::*;
@@ -310,6 +310,157 @@ fn multi_tile_flat_sweeps_match_naive() {
                 naive.to_bits(),
                 "({a:?},{b:?}) -> {h:?}"
             );
+        }
+    }
+}
+
+/// Columns of the wide kernel-tier fixtures: a correlated family,
+/// shifted copies, a constant column, and two pseudo-random stripes.
+fn wide_fixture_db(n_attrs: usize, n_obs: usize) -> Database {
+    let cols: Vec<Vec<u8>> = (0..n_attrs)
+        .map(|a| {
+            (0..n_obs)
+                .map(|o| match a % 5 {
+                    0 => (o % 3 + 1) as u8,
+                    1 => ((o + a / 5) % 3 + 1) as u8,
+                    2 => 2u8,
+                    3 => ((o * 7 + a * 13) % 3 + 1) as u8,
+                    _ => ((o / 2 + a) % 3 + 1) as u8,
+                })
+                .collect()
+        })
+        .collect();
+    Database::from_columns(
+        (0..n_attrs).map(|i| format!("A{i}")).collect(),
+        3,
+        cols,
+    )
+    .unwrap()
+}
+
+/// Kernel-tier matrix: the u16 flat, u32 wide flat, and segmented
+/// byte-walk kernels must produce bit-identical models through **full
+/// builds** across the tier × thread matrix at n = 40 (single head
+/// tile) and n = 128 (multi-tile). The cap rides on
+/// `ModelConfig::kernel_cap`, so the forced tier flows through both
+/// construction passes exactly as it would for a database that
+/// genuinely outgrew the u16 caps. The strategy is pinned to `ObsMajor`
+/// so the dense kernels actually run (under `Auto` these dimensions can
+/// resolve to `Bitset`, which has no kernel tiers), and the
+/// unrestricted `Bitset` build is the reference — covering the
+/// Bitset × tier axis of the matrix in the same sweep. (n = 500
+/// full builds are debug-prohibitive here; that width is tier-swept at
+/// the engine level below and build-tested in release by the
+/// `perf_summary` wide fixture.)
+#[test]
+fn kernel_tiers_are_bit_identical_through_model_builds() {
+    for &(n_attrs, n_obs) in &[(40usize, 60usize), (128, 40)] {
+        let db = wide_fixture_db(n_attrs, n_obs);
+        let cfg = |cap, strategy, threads| ModelConfig {
+            kernel_cap: cap,
+            strategy,
+            threads,
+            gamma_edge: 1.3,
+            gamma_hyper: 1.25,
+            ..ModelConfig::default()
+        };
+        let reference =
+            AssociationModel::build(&db, &cfg(KernelPath::FlatU16, CountStrategy::Bitset, 1))
+                .unwrap();
+        assert!(
+            reference.hypergraph().num_edges() > 0,
+            "n={n_attrs} fixture keeps some edges"
+        );
+        assert_eq!(reference.kernel_path(), KernelPath::FlatU16);
+        for cap in [
+            KernelPath::FlatU16,
+            KernelPath::FlatU32,
+            KernelPath::Segmented,
+        ] {
+            for threads in [1usize, 3] {
+                let m = AssociationModel::build(&db, &cfg(cap, CountStrategy::ObsMajor, threads))
+                    .unwrap();
+                assert_eq!(m.kernel_path(), cap, "forced tier is the reported tier");
+                assert_identical(
+                    &m,
+                    &reference,
+                    &format!("n={n_attrs} {cap:?} x{threads} vs Bitset/FlatU16 x1"),
+                );
+            }
+        }
+    }
+}
+
+/// n = 500 — the CI wide fixture's width — tier-swept at the engine
+/// level (full debug-mode builds at this width cost minutes; the
+/// release-mode `perf_summary` wide fixture builds it for real). Every
+/// tier must agree bit for bit with the others and with the naive
+/// recount on sampled tails, pairs, and heads spanning both head-tile
+/// boundaries.
+#[test]
+fn kernel_tiers_agree_at_the_wide_fixture_width() {
+    let db = wide_fixture_db(500, 24);
+    let caps = [
+        KernelPath::FlatU16,
+        KernelPath::FlatU32,
+        KernelPath::Segmented,
+    ];
+    let engines: Vec<CountingEngine> = caps
+        .iter()
+        .map(|&cap| {
+            let mut e = CountingEngine::new(&db);
+            e.restrict_kernel(cap);
+            assert_eq!(e.kernel_path(), cap);
+            e
+        })
+        .collect();
+    let mut counter = HeadCounter::new(db.num_attrs(), db.k());
+    let heads: Vec<AttrId> = [3u32, 77, 250, 499].map(AttrId::new).into();
+    for t in [0u32, 1, 250, 499].map(AttrId::new) {
+        let mut per_cap = Vec::new();
+        let probe: Vec<AttrId> = heads.iter().copied().filter(|&h| h != t).collect();
+        for e in &engines {
+            e.edge_acv_all_heads(t, &mut counter);
+            per_cap.push(
+                probe
+                    .iter()
+                    .map(|&h| counter.acv(h).to_bits())
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        for (got, cap) in per_cap.iter().zip(caps) {
+            assert_eq!(got, &per_cap[0], "pass 1 tail {t:?}, {cap:?} vs FlatU16");
+        }
+        for (&h, &bits) in probe.iter().zip(&per_cap[0]) {
+            let naive = engines[0].naive_table(&[t], h).acv();
+            assert_eq!(bits, naive.to_bits(), "pass 1 {t:?} -> {h:?} vs naive");
+        }
+    }
+    let mut buckets = PairBuckets::new();
+    for (a, b) in [(0u32, 1u32), (0, 2), (5, 499), (249, 250)] {
+        let (a, b) = (AttrId::new(a), AttrId::new(b));
+        let mut per_cap = Vec::new();
+        let probe: Vec<AttrId> = heads
+            .iter()
+            .copied()
+            .filter(|&h| h != a && h != b)
+            .collect();
+        for e in &engines {
+            e.bucket_pair(a, b, &mut buckets);
+            e.hyper_acv_all_heads(&buckets, &mut counter);
+            per_cap.push(
+                probe
+                    .iter()
+                    .map(|&h| counter.acv(h).to_bits())
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        for (got, cap) in per_cap.iter().zip(caps) {
+            assert_eq!(got, &per_cap[0], "pass 2 pair ({a:?},{b:?}), {cap:?}");
+        }
+        for (&h, &bits) in probe.iter().zip(&per_cap[0]) {
+            let naive = engines[0].naive_table(&[a, b], h).acv();
+            assert_eq!(bits, naive.to_bits(), "pass 2 ({a:?},{b:?}) -> {h:?}");
         }
     }
 }
