@@ -1,5 +1,6 @@
 //! Emits a machine-readable construction-performance summary as JSON —
-//! per-strategy build times on the fixed bench fixture, the
+//! per-strategy build times on the registry's `perf_construction`
+//! fixture, the
 //! **incremental sliding-window** latencies (`inc-slide` = steady-state
 //! per-slide `AssociationModel::advance`, `inc-rebuild` = full batch
 //! build on the same window; the slide entry also carries the measured
@@ -34,6 +35,15 @@
 //! machine-shaped to gate on absolute numbers; only the same-machine
 //! 1 → 8 scaling ratio is gated.
 //!
+//! Every fixture's universe dimensions, seed, k sweep, and γ settings
+//! come from the scenario registry
+//! (`hypermine_experiments::registry`, entries `perf_construction`,
+//! `perf_incremental`, `perf_wide240`, `perf_wide500`, `perf_serve`, at
+//! [`RunScale::Default`]) — this binary owns only its measurement knobs
+//! (run counts, slide counts, durations) and gate floors. Change a
+//! fixture in the registry and the bench, the `replication` gate, and
+//! this summary all move together.
+//!
 //! Usage: `perf_summary [OUTPUT_PATH] [--baseline PATH] [--tolerance FRAC]
 //! [--raw]`
 //!
@@ -55,60 +65,41 @@
 //!   is what's gated.
 
 use hypermine_core::{AssociationModel, CountStrategy, GammaPreset, ModelConfig};
-use hypermine_market::{discretize_market, Market, SimConfig, Universe};
+use hypermine_experiments::registry::{find, RunScale, ScenarioSpec};
+use hypermine_market::discretize_market;
 use hypermine_serve::{measure_qps, FeedConfig, MarketFeed, QpsRun, SnapshotSpec};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-/// Mirrors the `construction` bench fixture: 40 tickers, two simulated
-/// years, seed 5.
-const TICKERS: usize = 40;
-const N_DAYS: usize = 2 * 252;
-const SEED: u64 = 5;
+/// Best-of runs per construction timing (min is the most stable point
+/// estimate on shared CI runners).
 const RUNS: usize = 3;
 
-/// Incremental fixture: a three-trading-year window sliding across four
-/// simulated years — a production-shaped backtest (the paper mines 15
-/// years of daily closes; a rolling multi-year window is the streaming
-/// equivalent).
-const INC_DAYS: usize = 4 * 252;
-const WINDOW: usize = 3 * 252;
+/// Timed steady-state slides per incremental entry.
 const SLIDES: usize = 100;
 
-/// Batched-advance fixture: the k = 3 streaming window advanced in
-/// 5-day batches (one trading week per `advance_batch` call).
+/// Batched-advance knob: the k = 3 streaming window advanced in 5-day
+/// batches (one trading week per `advance_batch` call).
 const BATCH_DAYS: usize = 5;
 
-/// Wide fixture: the same two simulated years over 240 tickers — the
-/// Θ(n²·m·n) pair pass at production attribute counts. Observation-major
-/// only (the bitset path is quadratically off the pace here) and fewer
-/// runs: the three builds already take tens of seconds of CI time.
-const WIDE_TICKERS: usize = 240;
+/// Fewer timed runs on the wide fixture: the three builds already take
+/// tens of seconds of CI time.
 const WIDE_RUNS: usize = 2;
 
-/// Wide-universe fixture (the n = 500 memory wall): 500 tickers × the
-/// same two simulated years, built at the [`GammaPreset::WideDefault`]
-/// gammas `GammaPreset::for_num_attrs(500)` selects (the C1 gammas keep
-/// ~n² edges — 6.9 M at n = 240 — which is exactly the accident the
-/// preset exists to prevent), k ∈ {3, 5, 8} one run each plus one timed
-/// k = 3 slide. Gated on memory, not just time: resident graph bytes
-/// per kept edge — and section-local peak RSS per kept edge where the
-/// platform exposes it — must stay under
-/// [`MEM_PER_EDGE_LIMIT`] × the n = 240 fixture's figure from the same
-/// run.
-const N500_TICKERS: usize = 500;
+/// Memory-gate ceiling: the n = 500 fixture's bytes per kept edge —
+/// exact graph accounting and peak RSS alike — must stay under this
+/// multiple of the n = 240 fixture's same-run figure.
 const MEM_PER_EDGE_LIMIT: f64 = 2.0;
 
-/// Serve fixture: a modest live feed (16 tickers, 120-day window) so
-/// three timed runs fit the CI budget; the writer slides as fast as the
-/// host queue's backpressure allows while each reader count hammers the
-/// published snapshots. C2 gammas (1.20 / 1.12) — the configuration the
-/// `serve` CLI benches, so CI gates the number the CLI prints.
-const SERVE_TICKERS: usize = 16;
-const SERVE_WINDOW: usize = 120;
-const SERVE_DAYS: usize = 240;
+/// Reader counts and per-count duration for the serve fixture.
 const SERVE_READERS: [usize; 3] = [1, 4, 8];
 const SERVE_MS: u64 = 500;
+
+/// Looks a perf scenario up in the registry; its absence is a bug, not
+/// an input error.
+fn spec(name: &str) -> &'static ScenarioSpec {
+    find(name).unwrap_or_else(|| panic!("{name} is not in the scenario registry"))
+}
 
 struct Args {
     output: Option<String>,
@@ -208,17 +199,17 @@ fn parse_entries(json: &str) -> Vec<Entry> {
 
 fn main() {
     let args = parse_args();
-    let market = Market::simulate(
-        Universe::sp500(TICKERS),
-        &SimConfig {
-            n_days: N_DAYS,
-            seed: SEED,
-            ..SimConfig::default()
-        },
-    );
+    // Every fixture below is a registry scenario instantiated at the
+    // documented reporting scale; the tiny variants of the same entries
+    // are what `replication --scale tiny` gates bit-exactly.
+    let scale = RunScale::Default;
+    let con_spec = spec("perf_construction");
+    let con_dims = con_spec.dims(scale).expect("market-backed");
+    let market = con_spec.simulate(scale).expect("market-backed");
     let mut entries = String::new();
     let mut measured: Vec<Entry> = Vec::new();
-    for k in [3u8, 5, 8, 12] {
+    for run in con_spec.runs {
+        let k = run.k;
         let disc = discretize_market(&market, k, None);
         for (name, strategy) in [
             ("bitset", CountStrategy::Bitset),
@@ -231,7 +222,7 @@ fn main() {
             let cfg = ModelConfig {
                 strategy,
                 threads: 1,
-                ..ModelConfig::c1()
+                ..run.model_config(con_dims.tickers)
             };
             // Warm-up, then best-of-RUNS wall time (min is the most stable
             // point estimate on shared CI runners).
@@ -263,26 +254,23 @@ fn main() {
     // SLIDES steady-state advances (the first advance, which lazily
     // builds the incremental counting state, is excluded) against a full
     // rebuild of the same window.
-    let market_inc = Market::simulate(
-        Universe::sp500(TICKERS),
-        &SimConfig {
-            n_days: INC_DAYS,
-            seed: SEED,
-            ..SimConfig::default()
-        },
-    );
+    let inc_spec = spec("perf_incremental");
+    let inc_dims = inc_spec.dims(scale).expect("market-backed");
+    let window = inc_dims.window;
+    let market_inc = inc_spec.simulate(scale).expect("market-backed");
     let mut inc_entries = String::new();
     let mut k5_speedup = 0.0f64;
     let mut batch_speedup = 0.0f64;
-    for k in [3u8, 5, 8] {
+    for run in inc_spec.runs {
+        let k = run.k;
         let disc = discretize_market(&market_inc, k, None);
         let db = &disc.database;
         let n = db.num_attrs();
         let cfg = ModelConfig {
             threads: 1,
-            ..ModelConfig::c1()
+            ..run.model_config(inc_dims.tickers)
         };
-        let mut model = AssociationModel::build(&db.slice_obs(0..WINDOW), &cfg).unwrap();
+        let mut model = AssociationModel::build(&db.slice_obs(0..window), &cfg).unwrap();
         let mut row = vec![0u8; n];
         let read_row = |row: &mut Vec<u8>, day: usize| {
             for (a, v) in row.iter_mut().enumerate() {
@@ -290,12 +278,12 @@ fn main() {
             }
         };
         // Untimed first advance: builds the incremental state.
-        read_row(&mut row, WINDOW);
+        read_row(&mut row, window);
         model.advance(&row).unwrap();
         let inc_stats = model.incremental_stats().expect("state built");
         let start = Instant::now();
         for s in 0..SLIDES {
-            read_row(&mut row, WINDOW + 1 + s);
+            read_row(&mut row, window + 1 + s);
             model.advance(&row).unwrap();
         }
         let slide_ms = start.elapsed().as_secs_f64() * 1e3 / SLIDES as f64;
@@ -355,12 +343,12 @@ fn main() {
         // hardware calibration and the final models must agree exactly.
         if k == 3 {
             let mut batched =
-                AssociationModel::build(&db.slice_obs(0..WINDOW), &cfg).unwrap();
-            read_row(&mut row, WINDOW);
+                AssociationModel::build(&db.slice_obs(0..window), &cfg).unwrap();
+            read_row(&mut row, window);
             batched.advance(&row).unwrap();
             let days: Vec<Vec<u8>> = (0..SLIDES)
                 .map(|s| {
-                    read_row(&mut row, WINDOW + 1 + s);
+                    read_row(&mut row, window + 1 + s);
                     row.clone()
                 })
                 .collect();
@@ -401,27 +389,25 @@ fn main() {
     // Wide-attribute fixture: large-n construction through the blocked
     // flat kernels. Observation-major only — the per-strategy shape at
     // n = 240 is what the large-n work optimizes and what must never
-    // silently regress.
-    let market_wide = Market::simulate(
-        Universe::sp500(WIDE_TICKERS),
-        &SimConfig {
-            n_days: N_DAYS,
-            seed: SEED,
-            ..SimConfig::default()
-        },
-    );
+    // silently regress. The registry runs carry `Gammas::Preset`, which
+    // at 240 attributes resolves to the Exact (C1) gammas.
+    let wide_spec = spec("perf_wide240");
+    let wide_dims = wide_spec.dims(scale).expect("market-backed");
+    let n240 = wide_dims.tickers;
+    let market_wide = wide_spec.simulate(scale).expect("market-backed");
     let rss_sections = reset_peak_rss();
     let mut wide_entries = String::new();
     // The per-edge memory references the n = 240 fixture's largest model
     // (most edges → the per-edge figure least diluted by fixed costs).
     let mut wide_max_edges = 0usize;
     let mut wide_bpe = 0.0f64;
-    for k in [3u8, 5, 8] {
+    for run in wide_spec.runs {
+        let k = run.k;
         let disc = discretize_market(&market_wide, k, None);
         let cfg = ModelConfig {
             strategy: CountStrategy::ObsMajor,
             threads: 1,
-            ..ModelConfig::c1()
+            ..run.model_config(n240)
         };
         let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
         let mut best = f64::INFINITY;
@@ -469,30 +455,26 @@ fn main() {
     // one timed k = 3 slide through the incremental engine (whose pass-2
     // state at this width always takes the row-recount fallback — the
     // triple tensor would need gigabytes).
-    let market_500 = Market::simulate(
-        Universe::sp500(N500_TICKERS),
-        &SimConfig {
-            n_days: N_DAYS,
-            seed: SEED,
-            ..SimConfig::default()
-        },
-    );
-    let preset = GammaPreset::for_num_attrs(N500_TICKERS);
-    let (gamma_edge, gamma_hyper) = preset.gammas();
+    let w500_spec = spec("perf_wide500");
+    let w500_dims = w500_spec.dims(scale).expect("market-backed");
+    let n500 = w500_dims.tickers;
+    let market_500 = w500_spec.simulate(scale).expect("market-backed");
+    // The registry runs say `Gammas::Preset`; name the resolved preset
+    // so the log shows which tier the attribute count selected.
+    let preset = GammaPreset::for_num_attrs(n500);
     if rss_sections {
         reset_peak_rss();
     }
     let mut wide500_entries = String::new();
     let mut wide500_max_edges = 0usize;
     let mut wide500_bpe = 0.0f64;
-    for k in [3u8, 5, 8] {
+    for run in w500_spec.runs {
+        let k = run.k;
         let disc = discretize_market(&market_500, k, None);
         let cfg = ModelConfig {
             strategy: CountStrategy::ObsMajor,
             threads: 1,
-            gamma_edge,
-            gamma_hyper,
-            ..ModelConfig::default()
+            ..run.model_config(n500)
         };
         let start = Instant::now();
         let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
@@ -505,7 +487,7 @@ fn main() {
             wide500_bpe = bpe;
         }
         eprintln!(
-            "wide n={N500_TICKERS} k={k} obsmajor ({preset:?}): {best:.1} ms \
+            "wide n={n500} k={k} obsmajor ({preset:?}): {best:.1} ms \
              ({edges} edges, kernel {}, graph {:.1} MiB = {bpe:.1} B/edge)",
             model.kernel_path(),
             graph_bytes as f64 / (1024.0 * 1024.0),
@@ -545,7 +527,7 @@ fn main() {
             model.advance(&row).unwrap();
             let slide_ms = start.elapsed().as_secs_f64() * 1e3;
             eprintln!(
-                "wide n={N500_TICKERS} k={k} slide: {slide_ms:.1} ms \
+                "wide n={n500} k={k} slide: {slide_ms:.1} ms \
                  (kernel {}, tensor {})",
                 inc_stats.kernel_path, inc_stats.uses_triple_tensor
             );
@@ -570,17 +552,17 @@ fn main() {
     // continuously. `"qps"` instead of `"millis"` keeps these entries
     // out of the calibrated timing gate (see the module docs); the
     // gated quantity is the same-machine 1 → 8 scaling ratio below.
+    let serve_scn = spec("perf_serve");
+    let serve_dims = serve_scn.dims(scale).expect("market-backed");
+    let serve_run = &serve_scn.runs[0];
     let serve_feed_cfg = FeedConfig {
-        tickers: SERVE_TICKERS,
-        window: SERVE_WINDOW,
-        n_days: SERVE_DAYS,
-        ..FeedConfig::default()
+        tickers: serve_dims.tickers,
+        window: serve_dims.window,
+        n_days: serve_dims.days,
+        k: serve_run.k,
+        seed: serve_scn.seed,
     };
-    let serve_model_cfg = ModelConfig {
-        gamma_edge: 1.20,
-        gamma_hyper: 1.12,
-        ..ModelConfig::default()
-    };
+    let serve_model_cfg = serve_run.model_config(serve_dims.tickers);
     let serve_spec = SnapshotSpec::default();
     let serve_feed = MarketFeed::new(&serve_feed_cfg);
     let mut serve_entries = String::new();
@@ -628,13 +610,27 @@ fn main() {
 
     let fmt_peak = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |v| v.to_string());
     let json = format!(
-        "{{\n  \"fixture\": {{\"tickers\": {TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \
+        "{{\n  \"fixture\": {{\"tickers\": {con_t}, \"days\": {con_d}, \"seed\": {con_s}, \
          \"gammas\": \"c1\", \"threads\": 1, \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ],\n  \
-         \"incremental\": {{\"window\": {WINDOW}, \"days\": {INC_DAYS}, \"slides\": {SLIDES}, \"entries\": [\n{inc_entries}\n  ]}},\n  \
-         \"wide\": {{\"tickers\": {WIDE_TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \"threads\": 1, \"runs\": {WIDE_RUNS}, \"peak_rss_bytes\": {}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
-         \"wide500\": {{\"tickers\": {N500_TICKERS}, \"days\": {N_DAYS}, \"seed\": {SEED}, \"threads\": 1, \"runs\": 1, \"gammas\": \"wide-default\", \"peak_rss_bytes\": {}, \"entries\": [\n{wide500_entries}\n  ]}},\n  \
-         \"serve\": {{\"tickers\": {SERVE_TICKERS}, \"window\": {SERVE_WINDOW}, \"days\": {SERVE_DAYS}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}}\n}}\n",
-        fmt_peak(wide_peak), fmt_peak(wide500_peak), serve_feed_cfg.k, serve_feed_cfg.seed
+         \"incremental\": {{\"window\": {window}, \"days\": {inc_d}, \"slides\": {SLIDES}, \"entries\": [\n{inc_entries}\n  ]}},\n  \
+         \"wide\": {{\"tickers\": {n240}, \"days\": {wide_d}, \"seed\": {wide_s}, \"threads\": 1, \"runs\": {WIDE_RUNS}, \"peak_rss_bytes\": {}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
+         \"wide500\": {{\"tickers\": {n500}, \"days\": {w500_d}, \"seed\": {w500_s}, \"threads\": 1, \"runs\": 1, \"gammas\": \"wide-default\", \"peak_rss_bytes\": {}, \"entries\": [\n{wide500_entries}\n  ]}},\n  \
+         \"serve\": {{\"tickers\": {}, \"window\": {}, \"days\": {}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}}\n}}\n",
+        fmt_peak(wide_peak),
+        fmt_peak(wide500_peak),
+        serve_feed_cfg.tickers,
+        serve_feed_cfg.window,
+        serve_feed_cfg.n_days,
+        serve_feed_cfg.k,
+        serve_feed_cfg.seed,
+        con_t = con_dims.tickers,
+        con_d = con_dims.days,
+        con_s = con_spec.seed,
+        inc_d = inc_dims.days,
+        wide_d = wide_dims.days,
+        wide_s = wide_spec.seed,
+        w500_d = w500_dims.days,
+        w500_s = w500_spec.seed,
     );
     print!("{json}");
     if let Some(path) = &args.output {
@@ -805,15 +801,15 @@ fn main() {
         let bpe_limit = wide_bpe * MEM_PER_EDGE_LIMIT;
         if wide500_bpe > bpe_limit {
             eprintln!(
-                "wide n={N500_TICKERS} graph bytes/edge {wide500_bpe:.1} exceeds \
-                 {MEM_PER_EDGE_LIMIT}x the n={WIDE_TICKERS} figure ({wide_bpe:.1} \
+                "wide n={n500} graph bytes/edge {wide500_bpe:.1} exceeds \
+                 {MEM_PER_EDGE_LIMIT}x the n={n240} figure ({wide_bpe:.1} \
                  B/edge, limit {bpe_limit:.1})"
             );
             std::process::exit(1);
         }
         eprintln!(
-            "wide memory gate: n={N500_TICKERS} graph {wide500_bpe:.1} B/edge <= \
-             {bpe_limit:.1} ({MEM_PER_EDGE_LIMIT}x n={WIDE_TICKERS}'s {wide_bpe:.1})"
+            "wide memory gate: n={n500} graph {wide500_bpe:.1} B/edge <= \
+             {bpe_limit:.1} ({MEM_PER_EDGE_LIMIT}x n={n240}'s {wide_bpe:.1})"
         );
         match (wide_peak, wide500_peak) {
             (Some(p240), Some(p500)) => {
@@ -822,15 +818,15 @@ fn main() {
                 let rss_limit = rss_240 * MEM_PER_EDGE_LIMIT;
                 if rss_500 > rss_limit {
                     eprintln!(
-                        "wide n={N500_TICKERS} peak RSS/edge {rss_500:.1} exceeds \
-                         {MEM_PER_EDGE_LIMIT}x the n={WIDE_TICKERS} figure \
+                        "wide n={n500} peak RSS/edge {rss_500:.1} exceeds \
+                         {MEM_PER_EDGE_LIMIT}x the n={n240} figure \
                          ({rss_240:.1} B/edge, limit {rss_limit:.1})"
                     );
                     std::process::exit(1);
                 }
                 eprintln!(
-                    "wide RSS gate: n={N500_TICKERS} peak {rss_500:.1} B/edge <= \
-                     {rss_limit:.1} ({MEM_PER_EDGE_LIMIT}x n={WIDE_TICKERS}'s {rss_240:.1})"
+                    "wide RSS gate: n={n500} peak {rss_500:.1} B/edge <= \
+                     {rss_limit:.1} ({MEM_PER_EDGE_LIMIT}x n={n240}'s {rss_240:.1})"
                 );
             }
             _ => eprintln!(

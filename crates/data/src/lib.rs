@@ -67,4 +67,4 @@ pub use database::{AttrId, Database, DatabaseError, Value};
 pub use obs_matrix::{ObsMatrix, PairBuckets, SlotMatrix, WideSlotMatrix};
 pub use delta::{delta_matrix, delta_series, try_delta_matrix, try_delta_series, DeltaError};
 pub use support::{confidence, support, support_count, Pattern};
-pub use windowed::WindowedDatabase;
+pub use windowed::{StreamEvent, WindowedDatabase};

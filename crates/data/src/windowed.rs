@@ -22,6 +22,23 @@
 
 use crate::database::{AttrId, Database, DatabaseError, Value};
 
+/// One event of a gap-aware observation stream.
+///
+/// Real calendars have holes — market holidays, instrument outages,
+/// missing lab batches. A naive sliding window silently stretches over
+/// such a hole, mixing stale observations into the mining window. The
+/// gap-aware protocol instead *contracts*: each [`StreamEvent::Gap`]
+/// retires the oldest live observation without appending a replacement,
+/// so the window keeps covering a fixed span of calendar time rather
+/// than a fixed count of observed days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent<'a> {
+    /// A real observation row (one value per attribute, each in `1..=k`).
+    Obs(&'a [Value]),
+    /// A calendar hole: no data arrived, the oldest observation ages out.
+    Gap,
+}
+
 /// A fixed-capacity sliding window of observations over `n` attributes
 /// with values `1..=k`, stored as ring-buffered columns.
 ///
@@ -222,6 +239,25 @@ impl WindowedDatabase {
         self.append_obs(row)
     }
 
+    /// Applies one gap-aware stream event:
+    ///
+    /// * [`StreamEvent::Obs`] behaves like [`WindowedDatabase::advance`] —
+    ///   slide if full, else append — returning `Some(slot)`.
+    /// * [`StreamEvent::Gap`] behaves like
+    ///   [`WindowedDatabase::retire_oldest`] — the window *contracts* by
+    ///   one, returning the freed slot, or `None` if already empty.
+    ///
+    /// Model maintenance mirrors the same protocol with
+    /// `AssociationModel::advance` / `AssociationModel::retire_oldest`, and
+    /// the retire-only path stays bit-identical to a batch rebuild of the
+    /// contracted window (see the `streaming` integration tests).
+    pub fn apply(&mut self, event: StreamEvent<'_>) -> Result<Option<usize>, DatabaseError> {
+        match event {
+            StreamEvent::Obs(row) => self.advance(row).map(Some),
+            StreamEvent::Gap => Ok(self.retire_oldest()),
+        }
+    }
+
     /// Materializes the live window as a chronological [`Database`]
     /// (observation 0 = oldest).
     pub fn to_database(&self) -> Database {
@@ -349,6 +385,32 @@ mod tests {
     fn retire_on_empty_window() {
         let mut w = window();
         assert_eq!(w.retire_oldest(), None);
+    }
+
+    #[test]
+    fn apply_drives_gap_contraction_across_wraparound() {
+        let mut w = window();
+        for v in 1..=3 {
+            w.append_obs(&[v, v]).unwrap();
+        }
+        // Slide once so the ring start has wrapped past slot 0.
+        assert_eq!(w.apply(StreamEvent::Obs(&[1, 2])).unwrap(), Some(0));
+        assert_eq!(w.slot_of(0), 1);
+        // Two calendar gaps: the window contracts across the wrap boundary.
+        assert_eq!(w.apply(StreamEvent::Gap).unwrap(), Some(1));
+        assert_eq!(w.apply(StreamEvent::Gap).unwrap(), Some(2));
+        assert_eq!(w.num_obs(), 1);
+        assert_eq!(w.to_database().column(a(0)), &[1]);
+        // An Obs after contraction is a plain append (window not full).
+        assert_eq!(w.apply(StreamEvent::Obs(&[3, 3])).unwrap(), Some(1));
+        assert_eq!(w.num_obs(), 2);
+        // Contract to empty; a Gap on an empty window is a no-op.
+        assert_eq!(w.apply(StreamEvent::Gap).unwrap(), Some(0));
+        assert_eq!(w.apply(StreamEvent::Gap).unwrap(), Some(1));
+        assert_eq!(w.apply(StreamEvent::Gap).unwrap(), None);
+        // Validation errors pass through and leave the window unchanged.
+        assert!(w.apply(StreamEvent::Obs(&[9, 1])).is_err());
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -1,34 +1,50 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! Usage: `report [--scale tiny|default|full] [--seed N] [--only SECTION]
-//! [--strategy auto|bitset|obsmajor]` where SECTION is one of: stats, t51,
-//! t52, t53, t54, f51, f52, f53, f54. The counting strategy never changes
-//! any reported number (the strategies are bit-identical) — the flag exists
+//! [--strategy auto|bitset|obsmajor]`. Sections are enumerated from the
+//! scenario registry (`registry::REPORT_SECTIONS`); run
+//! `report --only help` to list them. The market, its per-scale
+//! dimensions, and the default seed come from the registry's
+//! `paper_market` scenario, so `report` reproduces exactly what the
+//! `replication` binary gates. The counting strategy never changes any
+//! reported number (the strategies are bit-identical) — the flag exists
 //! to time and A/B the construction paths on real report workloads.
 
 use hypermine_core::CountStrategy;
 use hypermine_experiments::baselines::BaselineConfig;
 use hypermine_experiments::dominator_tables::{dominator_table, DominatorAlgorithm};
+use hypermine_experiments::registry::{self, RunScale, REPORT_SECTIONS};
 use hypermine_experiments::{
     config_stats, fig_5_1, fig_5_2, fig_5_3, fig_5_4, table_5_1, table_5_2, Configuration, Scale,
     Scenario,
 };
 use std::time::Instant;
 
+/// Prints the registry-sourced section list (the `--only` domain).
+fn print_sections(to_stderr: bool) {
+    for (name, description) in REPORT_SECTIONS {
+        let line = format!("  {name:<6} {description}");
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+}
+
 fn parse_args() -> (Scale, u64, Option<String>, CountStrategy) {
+    let spec = registry::find("paper_market").expect("paper_market is registered");
     let mut scale = Scale::default_scale();
-    let mut seed = 7u64;
+    let mut seed = spec.seed;
     let mut only = None;
     let mut strategy = CountStrategy::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => match args.next().as_deref() {
-                Some("tiny") => scale = Scale::tiny(),
-                Some("default") => scale = Scale::default_scale(),
-                Some("full") => scale = Scale::full(),
-                other => {
-                    eprintln!("unknown scale {other:?} (tiny|default|full)");
+            "--scale" => match args.next().as_deref().and_then(RunScale::parse) {
+                Some(s) => scale = Scale::at(s),
+                None => {
+                    eprintln!("unknown scale (tiny|default|full)");
                     std::process::exit(2);
                 }
             },
@@ -41,7 +57,24 @@ fn parse_args() -> (Scale, u64, Option<String>, CountStrategy) {
                         std::process::exit(2);
                     });
             }
-            "--only" => only = args.next(),
+            "--only" => {
+                let section = args.next().unwrap_or_else(|| {
+                    eprintln!("--only needs a section; valid sections:");
+                    print_sections(true);
+                    std::process::exit(2);
+                });
+                if section == "help" {
+                    println!("report sections:");
+                    print_sections(false);
+                    std::process::exit(0);
+                }
+                if !REPORT_SECTIONS.iter().any(|(name, _)| *name == section) {
+                    eprintln!("unknown section {section:?}; valid sections:");
+                    print_sections(true);
+                    std::process::exit(2);
+                }
+                only = Some(section);
+            }
             "--strategy" => match args.next().as_deref() {
                 Some("auto") => strategy = CountStrategy::Auto,
                 Some("bitset") => strategy = CountStrategy::Bitset,
@@ -76,7 +109,6 @@ fn log_build(t0: &Instant, name: &str, model: &hypermine_core::AssociationModel)
 
 fn main() {
     let (scale, seed, only, strategy) = parse_args();
-    let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
     let t0 = Instant::now();
     println!(
         "== hypermine report: {} tickers, {} years, seed {seed} ==\n",
@@ -94,75 +126,84 @@ fn main() {
     log_build(&t0, "C2", &c2.model);
     println!();
 
-    if want("stats") {
-        println!("---- Section 5.1.2: configuration statistics ----");
-        println!("{}", config_stats::config_stats(&c1));
-        println!("{}", config_stats::config_stats(&c2));
-    }
-
-    if want("t51") {
-        println!("---- Table 5.1: top directed edge and 2-to-1 hyperedge ----");
-        for built in [&c1, &c2] {
-            for row in table_5_1::table_5_1(built, scenario.market.universe()) {
-                println!("{row}");
-            }
-        }
-        println!();
-    }
-
-    if want("t52") {
-        println!("---- Table 5.2: hyperedge vs constituent directed edges ----");
-        for built in [&c1, &c2] {
-            let rows = table_5_2::table_5_2(built);
-            let wins = rows.iter().filter(|r| r.hyperedge_wins()).count();
-            for row in &rows {
-                println!("{row}");
-            }
-            println!("  -> hyperedge beats both constituents in {wins}/{} rows", rows.len());
-        }
-        println!();
-    }
-
     let baseline_cfg = BaselineConfig::default();
     let fractions = [0.4, 0.3, 0.2];
-    if want("t53") {
-        println!("---- Table 5.3: dominators via Algorithm 5 ----");
-        for built in [&c1, &c2] {
-            for row in dominator_table(built, DominatorAlgorithm::DominatingSet, &fractions, &baseline_cfg) {
-                println!("{row}");
-            }
+    // Dispatch each registry section in declared order; `--only` (already
+    // validated against the registry) restricts to one.
+    for (section, description) in REPORT_SECTIONS {
+        if only.as_deref().is_some_and(|o| o != *section) {
+            continue;
         }
-        println!("[{:?}]\n", t0.elapsed());
-    }
-
-    if want("t54") {
-        println!("---- Table 5.4: dominators via Algorithm 6 (+ Enhancements 1 & 2) ----");
-        for built in [&c1, &c2] {
-            for row in dominator_table(built, DominatorAlgorithm::SetCover, &fractions, &baseline_cfg) {
-                println!("{row}");
+        match *section {
+            "stats" => {
+                println!("---- {description} ----");
+                println!("{}", config_stats::config_stats(&c1));
+                println!("{}", config_stats::config_stats(&c2));
             }
-        }
-        println!("[{:?}]\n", t0.elapsed());
-    }
-
-    if want("f51") {
-        println!("{}", fig_5_1::degree_report(&c1, scenario.market.universe()));
-    }
-
-    if want("f52") {
-        println!("{}", fig_5_2::similarity_report(&scenario, &c1, 2000));
-    }
-
-    if want("f53") {
-        println!("{}", fig_5_3::cluster_report(&c1, scenario.market.universe()));
-    }
-
-    if want("f54") {
-        for report in [
-            fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::DominatingSet, 0.4),
-            fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::SetCover, 0.4),
-        ] {
-            println!("{report}");
+            "t51" => {
+                println!("---- {description} ----");
+                for built in [&c1, &c2] {
+                    for row in table_5_1::table_5_1(built, scenario.market.universe()) {
+                        println!("{row}");
+                    }
+                }
+                println!();
+            }
+            "t52" => {
+                println!("---- {description} ----");
+                for built in [&c1, &c2] {
+                    let rows = table_5_2::table_5_2(built);
+                    let wins = rows.iter().filter(|r| r.hyperedge_wins()).count();
+                    for row in &rows {
+                        println!("{row}");
+                    }
+                    println!(
+                        "  -> hyperedge beats both constituents in {wins}/{} rows",
+                        rows.len()
+                    );
+                }
+                println!();
+            }
+            "t53" => {
+                println!("---- {description} ----");
+                for built in [&c1, &c2] {
+                    for row in dominator_table(
+                        built,
+                        DominatorAlgorithm::DominatingSet,
+                        &fractions,
+                        &baseline_cfg,
+                    ) {
+                        println!("{row}");
+                    }
+                }
+                println!("[{:?}]\n", t0.elapsed());
+            }
+            "t54" => {
+                println!("---- {description} ----");
+                for built in [&c1, &c2] {
+                    for row in dominator_table(
+                        built,
+                        DominatorAlgorithm::SetCover,
+                        &fractions,
+                        &baseline_cfg,
+                    ) {
+                        println!("{row}");
+                    }
+                }
+                println!("[{:?}]\n", t0.elapsed());
+            }
+            "f51" => println!("{}", fig_5_1::degree_report(&c1, scenario.market.universe())),
+            "f52" => println!("{}", fig_5_2::similarity_report(&scenario, &c1, 2000)),
+            "f53" => println!("{}", fig_5_3::cluster_report(&c1, scenario.market.universe())),
+            "f54" => {
+                for report in [
+                    fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::DominatingSet, 0.4),
+                    fig_5_4::expanding_windows(&scenario, DominatorAlgorithm::SetCover, 0.4),
+                ] {
+                    println!("{report}");
+                }
+            }
+            other => unreachable!("unhandled registry section {other}"),
         }
     }
 

@@ -31,8 +31,12 @@ pub mod fig_5_2;
 pub mod fig_5_3;
 pub mod fig_5_4;
 pub mod paper;
+pub mod registry;
+pub mod replicate;
 pub mod scenario;
 pub mod table_5_1;
 pub mod table_5_2;
 
+pub use registry::{RunScale, ScenarioSpec, REGISTRY};
+pub use replicate::{paper_database, run_scenario, ScenarioSummary};
 pub use scenario::{BuiltConfig, Configuration, Scale, Scenario};

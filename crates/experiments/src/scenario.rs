@@ -16,31 +16,38 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// The scale `dims` describes (dims must span whole years, which
+    /// every [`crate::registry::PAPER_DIMS`] entry does).
+    fn from_dims(dims: crate::registry::MarketDims) -> Scale {
+        debug_assert_eq!(dims.days % calendar::TRADING_DAYS_PER_YEAR, 0);
+        Scale {
+            tickers: dims.tickers,
+            years: dims.days / calendar::TRADING_DAYS_PER_YEAR,
+        }
+    }
+
     /// Tiny scale for unit tests (~seconds end to end).
     pub fn tiny() -> Scale {
-        Scale {
-            tickers: 30,
-            years: 2,
-        }
+        Scale::from_dims(crate::registry::PAPER_DIMS.tiny)
     }
 
     /// The default reporting scale: large enough to reproduce every
     /// qualitative result, small enough to run the whole report in minutes
     /// on two cores.
     pub fn default_scale() -> Scale {
-        Scale {
-            tickers: 120,
-            years: 10,
-        }
+        Scale::from_dims(crate::registry::PAPER_DIMS.default_scale)
     }
 
     /// The paper's full setup (346 tickers, 15 years). Model construction
     /// for C2 (k = 5) takes tens of minutes on a two-core machine.
     pub fn full() -> Scale {
-        Scale {
-            tickers: 346,
-            years: 15,
-        }
+        Scale::from_dims(crate::registry::PAPER_DIMS.full)
+    }
+
+    /// The [`crate::registry::RunScale`] scales, mapped through the
+    /// registry's paper dimensions.
+    pub fn at(scale: crate::registry::RunScale) -> Scale {
+        Scale::from_dims(crate::registry::PAPER_DIMS.at(scale))
     }
 }
 

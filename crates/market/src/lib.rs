@@ -28,6 +28,6 @@ mod sector;
 mod universe;
 
 pub use dataset::{discretize_market, discretize_prices, DiscretizedMarket, PriceError};
-pub use model::{correlation, Market, SimConfig, TickerParams};
+pub use model::{correlation, Market, RegimeConfig, SimConfig, TickerParams};
 pub use sector::Sector;
 pub use universe::{Ticker, Universe, PAPER_TICKERS};

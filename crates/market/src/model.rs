@@ -86,6 +86,49 @@ pub struct SimConfig {
     pub producer_streams: usize,
     /// Initial price for every series.
     pub start_price: f64,
+    /// Degrees of freedom for Student-t idiosyncratic noise. `0` (the
+    /// default) keeps the Gaussian draws — and the exact RNG stream —
+    /// of every earlier fixture; `df ≥ 3` fattens the delta tails
+    /// (variance-normalized, so factor structure and ACV levels stay
+    /// comparable) for the heavy-tail stress scenarios.
+    pub tail_df: usize,
+    /// Optional two-state calm/crisis regime schedule. `None` (the
+    /// default) draws nothing extra, preserving the RNG stream of
+    /// regime-free fixtures.
+    pub regimes: Option<RegimeConfig>,
+}
+
+/// A two-state (calm/crisis) Markov regime schedule: in a crisis the
+/// market factor swells and every ticker leans harder on it, so
+/// cross-sector correlations jump *together* — the correlated regime
+/// shift the plain factor model never produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeConfig {
+    /// Expected calm-segment length in days (per-day switch probability
+    /// is its reciprocal).
+    pub calm_len: usize,
+    /// Expected crisis-segment length in days.
+    pub crisis_len: usize,
+    /// Market-factor s.d. multiplier during a crisis.
+    pub crisis_vol: f64,
+    /// Market-loading multiplier applied to every ticker in a crisis
+    /// (raises cross-sector co-movement, not just variance).
+    pub crisis_beta: f64,
+    /// Idiosyncratic-noise multiplier during a crisis (< 1 ⇒ the common
+    /// factor dominates even harder).
+    pub crisis_idio: f64,
+}
+
+impl Default for RegimeConfig {
+    fn default() -> Self {
+        RegimeConfig {
+            calm_len: 180,
+            crisis_len: 40,
+            crisis_vol: 2.5,
+            crisis_beta: 1.6,
+            crisis_idio: 0.6,
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -114,6 +157,8 @@ impl Default for SimConfig {
             demand_streams: 0,
             producer_streams: 2,
             start_price: 50.0,
+            tail_df: 0,
+            regimes: None,
         }
     }
 }
@@ -140,6 +185,10 @@ pub struct Market {
     params: Vec<TickerParams>,
     /// `prices[ticker][day]`.
     prices: Vec<Vec<f64>>,
+    /// Crisis flag per *return* day (aligned with the delta series:
+    /// entry `d` covers the move from day `d` to `d + 1`). Empty unless
+    /// [`SimConfig::regimes`] was set.
+    crisis_days: Vec<bool>,
 }
 
 /// Samples a standard normal via Box–Muller (keeps us off rand_distr).
@@ -150,6 +199,30 @@ fn std_normal<R: Rng>(rng: &mut R) -> f64 {
             let u2: f64 = rng.gen::<f64>();
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }
+    }
+}
+
+/// Idiosyncratic noise sample. With `tail_df == 0` this is exactly one
+/// [`std_normal`] draw (the historical RNG stream); with `df ≥ 1` it is a
+/// Student-t variate `z · √(df / Σᵢzᵢ²)` built from `df` extra normals,
+/// rescaled to unit variance when `df > 2` so heavy tails don't also mean
+/// inflated overall noise.
+fn idio_noise<R: Rng>(rng: &mut R, tail_df: usize) -> f64 {
+    let z = std_normal(rng);
+    if tail_df == 0 {
+        return z;
+    }
+    let mut chi2 = 0.0;
+    for _ in 0..tail_df {
+        let x = std_normal(rng);
+        chi2 += x * x;
+    }
+    let df = tail_df as f64;
+    let t = z * (df / chi2.max(f64::MIN_POSITIVE)).sqrt();
+    if tail_df > 2 {
+        t * ((df - 2.0) / df).sqrt()
+    } else {
+        t
     }
 }
 
@@ -254,8 +327,25 @@ impl Market {
         let mut sector_f = [0.0f64; 12];
         let mut subsector_f = vec![0.0f64; num_ss];
         let mut demand_f = vec![0.0f64; streams];
+        let mut in_crisis = false;
+        let mut crisis_days: Vec<bool> = Vec::new();
         for _day in 1..cfg.n_days {
-            let f_mkt = std_normal(&mut rng) * cfg.market_sd;
+            // Regime switch first, so the day's factors already see the new
+            // state. Drawing the uniform only when a schedule is configured
+            // keeps the regime-free RNG stream byte-identical to before.
+            if let Some(rc) = &cfg.regimes {
+                let expected_len = if in_crisis { rc.crisis_len } else { rc.calm_len };
+                let flip: f64 = rng.gen();
+                if flip < 1.0 / expected_len.max(1) as f64 {
+                    in_crisis = !in_crisis;
+                }
+                crisis_days.push(in_crisis);
+            }
+            let (crisis_vol, crisis_beta, crisis_idio) = match (&cfg.regimes, in_crisis) {
+                (Some(rc), true) => (rc.crisis_vol, rc.crisis_beta, rc.crisis_idio),
+                _ => (1.0, 1.0, 1.0),
+            };
+            let f_mkt = std_normal(&mut rng) * cfg.market_sd * crisis_vol;
             for f in demand_f.iter_mut() {
                 *f = std_normal(&mut rng);
             }
@@ -267,10 +357,10 @@ impl Market {
             }
             for (i, t) in universe.tickers().iter().enumerate() {
                 let p = &params[i];
-                let mut raw = p.beta_market * f_mkt
+                let mut raw = p.beta_market * crisis_beta * f_mkt
                     + p.beta_sector * sector_f[t.sector.index()]
                     + p.beta_subsector * subsector_f[t.subsector as usize]
-                    + p.idio_sd * std_normal(&mut rng);
+                    + p.idio_sd * crisis_idio * idio_noise(&mut rng, cfg.tail_df);
                 if let Some((stream, beta)) = p.demand {
                     raw += beta * demand_f[stream as usize];
                 }
@@ -288,7 +378,15 @@ impl Market {
             universe,
             params,
             prices,
+            crisis_days,
         }
+    }
+
+    /// Crisis flag per return day (length `n_days - 1`, aligned with the
+    /// delta series). Empty when the market was simulated without a
+    /// [`RegimeConfig`].
+    pub fn crisis_days(&self) -> &[bool] {
+        &self.crisis_days
     }
 
     /// The universe behind this market.
@@ -454,6 +552,100 @@ mod tests {
         assert!((correlation(&a, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
         assert_eq!(correlation(&a, &[5.0, 5.0, 5.0]), 0.0);
         assert_eq!(correlation(&[], &[]), 0.0);
+    }
+
+    /// Sample excess kurtosis of a series (0 for a Gaussian).
+    fn excess_kurtosis(xs: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+        m4 / (var * var) - 3.0
+    }
+
+    #[test]
+    fn new_generator_fields_default_off_and_leave_stream_unchanged() {
+        let base = SimConfig {
+            n_days: 120,
+            seed: 17,
+            ..SimConfig::default()
+        };
+        assert_eq!(base.tail_df, 0);
+        assert_eq!(base.regimes, None);
+        // Spelling the defaults out explicitly must reproduce the same
+        // market bit-for-bit (the features draw nothing when disabled).
+        let explicit = SimConfig {
+            tail_df: 0,
+            regimes: None,
+            ..base.clone()
+        };
+        let m1 = Market::simulate(Universe::sp500(24), &base);
+        let m2 = Market::simulate(Universe::sp500(24), &explicit);
+        assert_eq!(m1.prices(), m2.prices());
+        assert!(m1.crisis_days().is_empty());
+    }
+
+    #[test]
+    fn heavy_tails_fatten_delta_kurtosis() {
+        let universe = Universe::sp500(40);
+        let mk = |tail_df| {
+            let cfg = SimConfig {
+                n_days: 1200,
+                seed: 23,
+                tail_df,
+                // Crank idio noise so the tail shape of ε dominates the
+                // (always-Gaussian) factor mixture.
+                idio_sd: (3.0, 4.0),
+                ..SimConfig::default()
+            };
+            Market::simulate(universe.clone(), &cfg)
+        };
+        let avg_kurt = |m: &Market| {
+            let deltas = m.deltas();
+            deltas.iter().map(|d| excess_kurtosis(d)).sum::<f64>() / deltas.len() as f64
+        };
+        let gauss = avg_kurt(&mk(0));
+        let heavy = avg_kurt(&mk(3));
+        assert!(
+            heavy > gauss + 1.0,
+            "t(3) idio noise should fatten tails: gaussian kurt {gauss:.3}, heavy {heavy:.3}"
+        );
+    }
+
+    #[test]
+    fn regime_shifts_raise_crisis_comovement() {
+        let cfg = SimConfig {
+            n_days: 1500,
+            seed: 31,
+            regimes: Some(RegimeConfig::default()),
+            ..SimConfig::default()
+        };
+        let m = Market::simulate(Universe::sp500(40), &cfg);
+        let flags = m.crisis_days();
+        assert_eq!(flags.len(), cfg.n_days - 1);
+        let n_crisis = flags.iter().filter(|&&c| c).count();
+        assert!(
+            n_crisis > 50 && n_crisis < flags.len() - 50,
+            "expected a mix of regimes, got {n_crisis}/{} crisis days",
+            flags.len()
+        );
+        // In a crisis the common factor swells, so the dispersion of the
+        // cross-sectional mean return jumps relative to calm days.
+        let deltas = m.deltas();
+        let n = deltas.len() as f64;
+        let day_mean =
+            |d: usize| deltas.iter().map(|s| s[d]).sum::<f64>() / n;
+        let rms = |days: &[usize]| {
+            (days.iter().map(|&d| day_mean(d).powi(2)).sum::<f64>() / days.len().max(1) as f64)
+                .sqrt()
+        };
+        let crisis: Vec<usize> = (0..flags.len()).filter(|&d| flags[d]).collect();
+        let calm: Vec<usize> = (0..flags.len()).filter(|&d| !flags[d]).collect();
+        let (rc, rq) = (rms(&crisis), rms(&calm));
+        assert!(
+            rc > rq * 1.5,
+            "crisis-day market moves should dwarf calm days: crisis rms {rc:.5}, calm {rq:.5}"
+        );
     }
 
     #[test]

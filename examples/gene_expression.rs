@@ -3,17 +3,23 @@
 //! association hypergraph, find co-expressed gene clusters, and predict
 //! expression levels of unmeasured genes from a measured subset.
 //!
+//! The raw table, its discretization cuts, and the paper-pinned rule
+//! outcomes all come from the `gene_expression` entry of the scenario
+//! registry — the same spec the `replication` binary gates — so this
+//! example cannot drift from the committed summary.
+//!
 //! ```bash
 //! cargo run --example gene_expression
 //! ```
 
 use hypermine::core::{
     attr_of, cluster_attributes, node_of, set_cover_adaptation, AssociationClassifier,
-    AssociationModel, ModelConfig, MvaRule, SetCoverOptions,
+    AssociationModel, MvaRule, SetCoverOptions,
 };
-use hypermine::data::discretize::{Discretizer, FixedCuts};
-use hypermine::data::{AttrId, Database};
-use hypermine_hypergraph::NodeId;
+use hypermine::data::AttrId;
+use hypermine::experiments::registry::{self, Source};
+use hypermine::experiments::replicate::paper_database;
+use hypermine::hypergraph::NodeId;
 
 /// Expression buckets: ↓ (1) for 0..=333, ↔ (2) for 334..=666, ↑ (3) above.
 fn arrows(v: u8) -> &'static str {
@@ -25,28 +31,11 @@ fn arrows(v: u8) -> &'static str {
 }
 
 fn main() {
-    // Table 3.3 — raw expression values for 4 genes x 8 patients.
-    let raw: [[f64; 4]; 8] = [
-        [54.23, 66.22, 342.32, 422.21],
-        [541.21, 324.21, 165.21, 852.21],
-        [321.67, 125.98, 139.43, 71.11],
-        [123.87, 95.54, 105.88, 678.65],
-        [388.44, 129.33, 135.65, 754.32],
-        [399.98, 121.54, 117.55, 719.33],
-        [414.33, 134.73, 145.32, 733.22],
-        [855.78, 125.93, 155.76, 789.43],
-    ];
-    // Table 3.4's cuts: ↓ 0..=333, ↔ 334..=666, ↑ 667..=999.
-    let cuts = FixedCuts::new(vec![334.0, 667.0]);
-    let columns: Vec<Vec<u8>> = (0..4)
-        .map(|c| cuts.fit_apply(&raw.iter().map(|r| r[c]).collect::<Vec<_>>()))
-        .collect();
-    let db = Database::from_columns(
-        vec!["G1".into(), "G2".into(), "G3".into(), "G4".into()],
-        3,
-        columns,
-    )
-    .unwrap();
+    let spec = registry::find("gene_expression").expect("registered scenario");
+    let db = paper_database(spec).expect("inline scenario");
+    let Source::Inline(table) = spec.source else {
+        unreachable!("gene_expression is an inline scenario")
+    };
 
     println!("Discretized Gene database (Table 3.4):");
     for o in 0..db.num_obs() {
@@ -56,20 +45,31 @@ fn main() {
 
     // The paper's rule: G2 under ∧ G3 under ⟹ G4 over;
     // Supp = 0.875, Conf = 0.857.
-    let rule = MvaRule::new(
-        vec![(AttrId::new(1), 1), (AttrId::new(2), 1)],
-        vec![(AttrId::new(3), 3)],
-    )
-    .unwrap();
-    println!(
-        "\n{}: Supp {:.3} (paper 0.875), Conf {:.3} (paper 0.857)",
-        rule.display(&db),
-        rule.antecedent_support(&db),
-        rule.confidence(&db).unwrap()
-    );
+    for check in table.rules {
+        let rule = MvaRule::new(
+            check
+                .antecedent
+                .iter()
+                .map(|&(a, v)| (AttrId::new(a), v))
+                .collect(),
+            vec![(AttrId::new(check.consequent.0), check.consequent.1)],
+        )
+        .unwrap();
+        println!(
+            "\n{}: Supp {:.3} (paper {}/{}), Conf {:.3} (paper {}/{})",
+            rule.display(&db),
+            rule.antecedent_support(&db),
+            check.support.0,
+            check.support.1,
+            rule.confidence(&db).unwrap(),
+            check.confidence.0,
+            check.confidence.1,
+        );
+    }
 
     // Chapter 6 problem (1): clusters of similar genes.
-    let model = AssociationModel::build(&db, &ModelConfig::c1()).unwrap();
+    let cfg = spec.runs[0].model_config(db.num_attrs());
+    let model = AssociationModel::build(&db, &cfg).unwrap();
     let attrs: Vec<AttrId> = model.attrs().collect();
     let clusters = cluster_attributes(&model, &attrs, 2, None);
     println!("\ngene clusters (t = 2):");

@@ -2,41 +2,26 @@
 //! records with Age / Cholesterol / Blood-Pressure / Heart-Rate, discretized
 //! by `⌊value / 10⌋`, then mined for mva-type association rules.
 //!
+//! The raw table, its discretizer, and the paper-pinned rule outcomes
+//! all come from the `patient_db` entry of the scenario registry — the
+//! same spec the `replication` binary gates — so this example cannot
+//! drift from the committed summary.
+//!
 //! ```bash
 //! cargo run --example patient_db
 //! ```
 
-use hypermine::core::{AssociationModel, ModelConfig, MvaRule};
-use hypermine::data::discretize::discretize_by;
-use hypermine::data::{AttrId, Database, Value};
+use hypermine::core::{AssociationModel, MvaRule};
+use hypermine::data::{AttrId, Value};
+use hypermine::experiments::registry::{self, Source};
+use hypermine::experiments::replicate::paper_database;
 
 fn main() {
-    // Table 3.1 — the raw Patient database.
-    let raw: [[f64; 4]; 8] = [
-        [25.0, 105.0, 135.0, 75.0],
-        [62.0, 160.0, 165.0, 85.0],
-        [32.0, 125.0, 139.0, 71.0],
-        [12.0, 95.0, 105.0, 67.0],
-        [38.0, 129.0, 135.0, 75.0],
-        [39.0, 121.0, 117.0, 71.0],
-        [41.0, 134.0, 145.0, 73.0],
-        [85.0, 125.0, 155.0, 78.0],
-    ];
-    let names = ["Age", "Cholesterol", "Blood-Pressure", "Heart-Rate"];
-
-    // Table 3.2 — discretize every value to ⌊v/10⌋.
-    let columns: Vec<Vec<Value>> = (0..4)
-        .map(|c| {
-            let col: Vec<f64> = raw.iter().map(|row| row[c]).collect();
-            discretize_by(&col, |x| (x / 10.0).floor() as Value)
-        })
-        .collect();
-    let db = Database::from_columns(
-        names.iter().map(|s| s.to_string()).collect(),
-        16,
-        columns,
-    )
-    .unwrap();
+    let spec = registry::find("patient_db").expect("registered scenario");
+    let db = paper_database(spec).expect("inline scenario");
+    let Source::Inline(table) = spec.source else {
+        unreachable!("patient_db is an inline scenario")
+    };
 
     println!("Discretized Patient database (Table 3.2):");
     for o in 0..db.num_obs() {
@@ -46,21 +31,36 @@ fn main() {
 
     // The paper's example rule: age in 30-39 ∧ cholesterol in 120-129
     // ⟹ blood-pressure in 130-139; Supp = 0.375, Conf = 0.667.
-    let age = AttrId::new(0);
-    let chol = AttrId::new(1);
-    let bp = AttrId::new(2);
-    let rule = MvaRule::new(vec![(age, 3), (chol, 12)], vec![(bp, 13)]).unwrap();
-    println!("\nrule {}:", rule.display(&db));
-    println!("  Supp(X)      = {:.3} (paper: 0.375)", rule.antecedent_support(&db));
-    println!(
-        "  Conf(X => Y) = {:.3} (paper: 0.667)",
-        rule.confidence(&db).unwrap()
-    );
+    for check in table.rules {
+        let rule = MvaRule::new(
+            check
+                .antecedent
+                .iter()
+                .map(|&(a, v)| (AttrId::new(a), v))
+                .collect(),
+            vec![(AttrId::new(check.consequent.0), check.consequent.1)],
+        )
+        .unwrap();
+        println!("\nrule {}:", rule.display(&db));
+        println!(
+            "  Supp(X)      = {:.3} (paper: {}/{})",
+            rule.antecedent_support(&db),
+            check.support.0,
+            check.support.1
+        );
+        println!(
+            "  Conf(X => Y) = {:.3} (paper: {}/{})",
+            rule.confidence(&db).unwrap(),
+            check.confidence.0,
+            check.confidence.1
+        );
+    }
 
     // Build the association hypergraph over the patient attributes. With
     // only 8 observations this is a toy model, but it exercises the same
     // machinery as the financial experiments.
-    let model = AssociationModel::build(&db, &ModelConfig::c1()).unwrap();
+    let cfg = spec.runs[0].model_config(db.num_attrs());
+    let model = AssociationModel::build(&db, &cfg).unwrap();
     println!(
         "\nassociation hypergraph: {} directed edges, {} 2-to-1 hyperedges",
         model.stats().num_directed_edges,

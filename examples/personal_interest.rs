@@ -2,13 +2,19 @@
 //! social-network ratings table mined for interest associations and
 //! association-based user-interest similarity.
 //!
+//! The raw table, its cuts, and the paper-pinned rule outcomes all come
+//! from the `personal_interest` entry of the scenario registry — the
+//! same spec the `replication` binary gates — so this example cannot
+//! drift from the committed summary.
+//!
 //! ```bash
 //! cargo run --example personal_interest
 //! ```
 
-use hypermine::core::{AssociationModel, ModelConfig, MvaRule};
-use hypermine::data::discretize::{Discretizer, FixedCuts};
-use hypermine::data::{AttrId, Database};
+use hypermine::core::{AssociationModel, MvaRule};
+use hypermine::data::AttrId;
+use hypermine::experiments::registry::{self, Source};
+use hypermine::experiments::replicate::paper_database;
 
 fn level(v: u8) -> &'static str {
     match v {
@@ -19,28 +25,11 @@ fn level(v: u8) -> &'static str {
 }
 
 fn main() {
-    // Table 3.5 — interest ratings (0 = lowest, 10 = highest).
-    let raw: [[f64; 4]; 8] = [
-        [10.0, 10.0, 3.0, 5.0],
-        [7.0, 9.0, 4.0, 6.0],
-        [3.0, 1.0, 9.0, 10.0],
-        [5.0, 1.0, 10.0, 7.0],
-        [9.0, 8.0, 2.0, 6.0],
-        [8.0, 10.0, 7.0, 6.0],
-        [5.0, 4.0, 6.0, 5.0],
-        [8.0, 10.0, 1.0, 8.0],
-    ];
-    // Table 3.6's cuts: low 0..=3, moderate 4..=7, high 8..=10.
-    let cuts = FixedCuts::new(vec![4.0, 8.0]);
-    let columns: Vec<Vec<u8>> = (0..4)
-        .map(|c| cuts.fit_apply(&raw.iter().map(|r| r[c]).collect::<Vec<_>>()))
-        .collect();
-    let db = Database::from_columns(
-        vec!["Read".into(), "Play".into(), "Music".into(), "Eat".into()],
-        3,
-        columns,
-    )
-    .unwrap();
+    let spec = registry::find("personal_interest").expect("registered scenario");
+    let db = paper_database(spec).expect("inline scenario");
+    let Source::Inline(table) = spec.source else {
+        unreachable!("personal_interest is an inline scenario")
+    };
 
     println!("Discretized Personal-Interest database (Table 3.6):");
     for o in 0..db.num_obs() {
@@ -50,22 +39,33 @@ fn main() {
 
     // The paper's rule: high reading ∧ high playing ⟹ low music interest;
     // Supp = 0.5, Conf = 0.75.
-    let rule = MvaRule::new(
-        vec![(AttrId::new(0), 3), (AttrId::new(1), 3)],
-        vec![(AttrId::new(2), 1)],
-    )
-    .unwrap();
-    println!(
-        "\n{}: Supp {:.3} (paper 0.5), Conf {:.3} (paper 0.75)",
-        rule.display(&db),
-        rule.antecedent_support(&db),
-        rule.confidence(&db).unwrap()
-    );
+    for check in table.rules {
+        let rule = MvaRule::new(
+            check
+                .antecedent
+                .iter()
+                .map(|&(a, v)| (AttrId::new(a), v))
+                .collect(),
+            vec![(AttrId::new(check.consequent.0), check.consequent.1)],
+        )
+        .unwrap();
+        println!(
+            "\n{}: Supp {:.3} (paper {}/{}), Conf {:.3} (paper {}/{})",
+            rule.display(&db),
+            rule.antecedent_support(&db),
+            check.support.0,
+            check.support.1,
+            rule.confidence(&db).unwrap(),
+            check.confidence.0,
+            check.confidence.1,
+        );
+    }
 
     // Association-based similarity between interests: reading and playing
     // should look alike (they predict each other and share predictors),
     // music should be the odd one out.
-    let model = AssociationModel::build(&db, &ModelConfig::c1()).unwrap();
+    let cfg = spec.runs[0].model_config(db.num_attrs());
+    let model = AssociationModel::build(&db, &cfg).unwrap();
     println!("\npairwise association distance (1 = dissimilar):");
     let attrs: Vec<AttrId> = model.attrs().collect();
     print!("        ");
