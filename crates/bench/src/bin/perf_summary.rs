@@ -1,33 +1,52 @@
 //! Emits a machine-readable construction-performance summary as JSON —
 //! per-strategy build times on the registry's `perf_construction`
-//! fixture, the
+//! fixture at **threads ∈ {1, 4, 8}** (`-t4`/`-t8` label suffixes; the
+//! bare label stays the single-thread entry so old baselines keep
+//! matching), the
 //! **incremental sliding-window** latencies (`inc-slide` = steady-state
 //! per-slide `AssociationModel::advance`, `inc-rebuild` = full batch
 //! build on the same window; the slide entry also carries the measured
 //! speedup and the live `incremental_stats` tensor bytes), the
 //! **batched advance** latency (`batch-slide` = one
-//! `advance_batch(5)` call at k = 3, gated at ≥ 2× over five single
+//! `advance_batch(5)` call at k = 3, gated at ≥ 1.3× over five single
 //! advances), the **wide fixture** (240 tickers × 504 days,
-//! observation-major construction at k ∈ {3, 5, 8} — the large-n
-//! regression guard for the blocked flat kernels), the
+//! observation-major construction at k ∈ {3, 5, 8}, also at
+//! threads ∈ {1, 4, 8} — the large-n regression guard for the blocked
+//! flat kernels and the parallel pair sweep — plus one `wide-scalar`
+//! build at k = 8 under `SimdPolicy::ForceScalar`, whose same-run
+//! ratio against the auto entry is the recorded **SIMD speedup**), the
 //! **wide-universe fixture** (500 tickers × 504 days at the
-//! `GammaPreset::WideDefault` gammas, one build per k plus a timed
-//! k = 3 slide, each entry carrying the chosen kernel path, resident
-//! graph bytes, and bytes per kept edge, each section its peak RSS),
+//! `GammaPreset::WideDefault` gammas, single-threaded for runtime
+//! budget, one build per k plus a timed k = 3 slide, each entry
+//! carrying the chosen kernel path, resident graph bytes, and bytes
+//! per kept edge, each section its peak RSS),
 //! and the **serve fixture** (aggregate reader queries/sec against
 //! live epoch-tagged snapshots at 1/4/8 reader threads while the
 //! writer slides the window — the `hypermine-serve` concurrency
-//! story) — so CI can upload it as an artifact, and optionally
-//! **gates** against a committed baseline: with `--baseline <path>`
-//! the run fails (exit 1) if any `(k, strategy)` time regresses more
-//! than the tolerance over the baseline's, if the k = 5 slide speedup
-//! drops below 10×, if the k = 3 batch speedup drops below 1.8×, if
-//! reader throughput fails to scale from 1 → 8 readers
-//! (hardware-aware: ≥ 3× on 8+ cores, ≥ 2× on 4–7; skipped below 4
-//! cores, where reader threads time-slice one core instead of
-//! scaling), or if the n = 500 fixture's memory per kept edge — exact
-//! graph-byte accounting, and section-local peak RSS where `/proc`
-//! exposes it — exceeds twice the n = 240 fixture's same-run figure.
+//! story) — so CI can upload it as an artifact. Every timing entry
+//! carries the engaged `"kernel"`-style `"simd"` level
+//! (`avx2`/`neon`/`scalar`, see `hypermine_core::SimdLevel`), so a
+//! runner silently losing its vector tier is visible in the artifact.
+//!
+//! Optionally **gates** against a committed baseline: with
+//! `--baseline <path>` the run fails (exit 1) if any `(k, strategy)`
+//! time regresses more than the tolerance over the baseline's, if the
+//! k = 5 slide speedup drops below 3× (the pre-SIMD floor was 10×;
+//! the vertical kernel halved the batch-rebuild denominator while the
+//! incremental path has no dense sweeps to vectorize), if the k = 3
+//! batch speedup
+//! drops below 1.3× (the single slides it is compared against sped up
+//! post-SIMD), if reader throughput fails to scale from 1 → 8
+//! readers (hardware-aware: ≥ 3× on 8+ cores, ≥ 2× on 4–7; skipped
+//! below 4 cores, where reader threads time-slice one core instead of
+//! scaling), if the wide k = 8 build fails to speed up ≥ 2.5× from 1
+//! to 4 threads (same-machine ratio, gated only on 4+ cores — below
+//! that the workers time-slice and the ratio measures the scheduler),
+//! if the wide k = 8 SIMD speedup falls below 1.2× while a vector
+//! tier is engaged (skipped on scalar-only hosts), or if the n = 500
+//! fixture's memory per kept edge — exact graph-byte accounting, and
+//! section-local peak RSS where `/proc` exposes it — exceeds twice
+//! the n = 240 fixture's same-run figure.
 //!
 //! Serve entries carry `"qps"` rather than `"millis"`, which keeps
 //! them out of the calibrated timing gate by construction — throughput
@@ -64,7 +83,7 @@
 //!   per-strategy shape (which is what the counting-engine work optimizes)
 //!   is what's gated.
 
-use hypermine_core::{AssociationModel, CountStrategy, GammaPreset, ModelConfig};
+use hypermine_core::{AssociationModel, CountStrategy, GammaPreset, ModelConfig, SimdLevel, SimdPolicy};
 use hypermine_experiments::registry::{find, RunScale, ScenarioSpec};
 use hypermine_market::discretize_market;
 use hypermine_serve::{measure_qps, FeedConfig, MarketFeed, QpsRun, SnapshotSpec};
@@ -94,6 +113,25 @@ const MEM_PER_EDGE_LIMIT: f64 = 2.0;
 /// Reader counts and per-count duration for the serve fixture.
 const SERVE_READERS: [usize; 3] = [1, 4, 8];
 const SERVE_MS: u64 = 500;
+
+/// Worker-thread counts for the construction and wide240 sections. The
+/// single-thread entry keeps the bare strategy label (so old baselines
+/// keep matching); the others get a `-t4`/`-t8` suffix. The wide500
+/// section stays single-threaded for runtime budget.
+const THREADS: [usize; 3] = [1, 4, 8];
+
+/// Parallel-efficiency floor: the wide k = 8 build must speed up at
+/// least this much from 1 to 4 worker threads — gated only on hosts
+/// with 4+ cores (below that the workers time-slice and the ratio
+/// measures the scheduler, not the work-stealing sweep).
+const EFFICIENCY_FLOOR: f64 = 2.5;
+
+/// SIMD-speedup floor: the wide k = 8 single-thread build under the
+/// auto policy must beat the same-run `ForceScalar` build by at least
+/// this much whenever a vector tier is engaged (skipped on scalar-only
+/// hosts). The vertical kernel measures 2.2–3.3× on AVX2, so the floor
+/// has ample noise headroom.
+const SIMD_FLOOR: f64 = 1.2;
 
 /// Looks a perf scenario up in the registry; its absence is a bug, not
 /// an input error.
@@ -216,38 +254,48 @@ fn main() {
             ("obsmajor", CountStrategy::ObsMajor),
             ("auto", CountStrategy::Auto),
         ] {
-            // threads: 1 keeps snapshots comparable across CI runners with
-            // different core counts (the artifact is a per-strategy
-            // single-core baseline, not a scaling benchmark).
-            let cfg = ModelConfig {
-                strategy,
-                threads: 1,
-                ..run.model_config(con_dims.tickers)
-            };
-            // Warm-up, then best-of-RUNS wall time (min is the most stable
-            // point estimate on shared CI runners).
-            let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
-            let mut best = f64::INFINITY;
-            for _ in 0..RUNS {
-                let start = Instant::now();
-                model = AssociationModel::build(&disc.database, &cfg).unwrap();
-                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            // The explicit thread counts (rather than `threads: 0` =
+            // all cores) keep snapshots comparable across CI runners
+            // with different core counts: every machine measures the
+            // same three worker configurations, and the per-entry label
+            // says which one it was.
+            for &threads in &THREADS {
+                let label = if threads == 1 {
+                    name.to_string()
+                } else {
+                    format!("{name}-t{threads}")
+                };
+                let cfg = ModelConfig {
+                    strategy,
+                    threads,
+                    ..run.model_config(con_dims.tickers)
+                };
+                // Warm-up, then best-of-RUNS wall time (min is the most
+                // stable point estimate on shared CI runners).
+                let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
+                let mut best = f64::INFINITY;
+                for _ in 0..RUNS {
+                    let start = Instant::now();
+                    model = AssociationModel::build(&disc.database, &cfg).unwrap();
+                    best = best.min(start.elapsed().as_secs_f64() * 1e3);
+                }
+                if !entries.is_empty() {
+                    entries.push_str(",\n");
+                }
+                write!(
+                    entries,
+                    "    {{\"k\": {k}, \"strategy\": \"{label}\", \"threads\": {threads}, \
+                     \"simd\": \"{}\", \"millis\": {best:.3}, \"edges\": {}}}",
+                    model.simd_level(),
+                    model.hypergraph().num_edges()
+                )
+                .expect("writing to a String cannot fail");
+                measured.push(Entry {
+                    k,
+                    strategy: label,
+                    millis: best,
+                });
             }
-            if !entries.is_empty() {
-                entries.push_str(",\n");
-            }
-            write!(
-                entries,
-                "    {{\"k\": {k}, \"strategy\": \"{name}\", \"millis\": {best:.3}, \
-                 \"edges\": {}}}",
-                model.hypergraph().num_edges()
-            )
-            .expect("writing to a String cannot fail");
-            measured.push(Entry {
-                k,
-                strategy: name.to_string(),
-                millis: best,
-            });
         }
     }
     // Incremental sliding-window section: one batch model per k, then
@@ -318,11 +366,13 @@ fn main() {
             inc_entries,
             "    {{\"k\": {k}, \"strategy\": \"inc-slide\", \"millis\": {slide_ms:.3}, \
              \"speedup\": {speedup:.2}, \"edges\": {}, \"tensor\": {}, \
-             \"tensor_bytes\": {}}},\n    \
-             {{\"k\": {k}, \"strategy\": \"inc-rebuild\", \"millis\": {rebuild_ms:.3}}}",
+             \"tensor_bytes\": {}, \"simd\": \"{simd}\"}},\n    \
+             {{\"k\": {k}, \"strategy\": \"inc-rebuild\", \"millis\": {rebuild_ms:.3}, \
+             \"simd\": \"{simd}\"}}",
             model.hypergraph().num_edges(),
             inc_stats.uses_triple_tensor,
-            inc_stats.triple_tensor_bytes
+            inc_stats.triple_tensor_bytes,
+            simd = inc_stats.simd
         )
         .expect("writing to a String cannot fail");
         measured.push(Entry {
@@ -375,7 +425,9 @@ fn main() {
             write!(
                 inc_entries,
                 "    {{\"k\": {k}, \"strategy\": \"batch-slide\", \"millis\": {batch_ms:.3}, \
-                 \"days\": {BATCH_DAYS}, \"speedup\": {batch_speedup:.2}}}",
+                 \"days\": {BATCH_DAYS}, \"speedup\": {batch_speedup:.2}, \
+                 \"simd\": \"{}\"}}",
+                inc_stats.simd
             )
             .expect("writing to a String cannot fail");
             measured.push(Entry {
@@ -401,50 +453,111 @@ fn main() {
     // (most edges → the per-edge figure least diluted by fixed costs).
     let mut wide_max_edges = 0usize;
     let mut wide_bpe = 0.0f64;
+    // Wide k = 8 best times per THREADS slot (the parallel-efficiency
+    // ratio) and the same-run SIMD speedup inputs.
+    let mut wide_k8_by_threads = [f64::NAN; THREADS.len()];
+    let mut wide_k8_auto = f64::NAN;
     for run in wide_spec.runs {
         let k = run.k;
         let disc = discretize_market(&market_wide, k, None);
+        for (ti, &threads) in THREADS.iter().enumerate() {
+            let label = if threads == 1 {
+                "wide-obsmajor".to_string()
+            } else {
+                format!("wide-obsmajor-t{threads}")
+            };
+            let cfg = ModelConfig {
+                strategy: CountStrategy::ObsMajor,
+                threads,
+                ..run.model_config(n240)
+            };
+            let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
+            let mut best = f64::INFINITY;
+            for _ in 0..WIDE_RUNS {
+                let start = Instant::now();
+                model = AssociationModel::build(&disc.database, &cfg).unwrap();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            if k == 8 {
+                wide_k8_by_threads[ti] = best;
+                if threads == 1 {
+                    wide_k8_auto = best;
+                }
+            }
+            let edges = model.hypergraph().num_edges();
+            let graph_bytes = model.hypergraph().memory().total_bytes();
+            let bpe = graph_bytes as f64 / edges.max(1) as f64;
+            if threads == 1 && edges > wide_max_edges {
+                wide_max_edges = edges;
+                wide_bpe = bpe;
+            }
+            eprintln!(
+                "wide n={} k={k} obsmajor t{threads}: {best:.1} ms ({edges} edges, \
+                 kernel {}, simd {}, graph {:.1} MiB = {bpe:.1} B/edge)",
+                disc.database.num_attrs(),
+                model.kernel_path(),
+                model.simd_level(),
+                graph_bytes as f64 / (1024.0 * 1024.0),
+            );
+            if !wide_entries.is_empty() {
+                wide_entries.push_str(",\n");
+            }
+            write!(
+                wide_entries,
+                "    {{\"k\": {k}, \"strategy\": \"{label}\", \"threads\": {threads}, \
+                 \"millis\": {best:.3}, \"edges\": {edges}, \"kernel\": \"{}\", \
+                 \"simd\": \"{}\", \"graph_bytes\": {graph_bytes}, \
+                 \"bytes_per_edge\": {bpe:.2}}}",
+                model.kernel_path(),
+                model.simd_level()
+            )
+            .expect("writing to a String cannot fail");
+            measured.push(Entry {
+                k,
+                strategy: label,
+                millis: best,
+            });
+        }
+    }
+    // Same-run SIMD speedup: the k = 8 single-thread build again under
+    // `ForceScalar`. The ratio against the auto entry above is a
+    // same-machine comparison (no hardware calibration needed) and is
+    // what the SIMD gate checks; the scalar time itself also enters the
+    // calibrated timing gate like any other entry.
+    let mut simd_speedup = 1.0f64;
+    let mut simd_level = SimdLevel::Scalar;
+    if let Some(run) = wide_spec.runs.iter().find(|r| r.k == 8) {
+        let disc = discretize_market(&market_wide, run.k, None);
         let cfg = ModelConfig {
             strategy: CountStrategy::ObsMajor,
             threads: 1,
+            simd: SimdPolicy::ForceScalar,
             ..run.model_config(n240)
         };
         let mut model = AssociationModel::build(&disc.database, &cfg).unwrap();
-        let mut best = f64::INFINITY;
+        let mut scalar_best = f64::INFINITY;
         for _ in 0..WIDE_RUNS {
             let start = Instant::now();
             model = AssociationModel::build(&disc.database, &cfg).unwrap();
-            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            scalar_best = scalar_best.min(start.elapsed().as_secs_f64() * 1e3);
         }
-        let edges = model.hypergraph().num_edges();
-        let graph_bytes = model.hypergraph().memory().total_bytes();
-        let bpe = graph_bytes as f64 / edges.max(1) as f64;
-        if edges > wide_max_edges {
-            wide_max_edges = edges;
-            wide_bpe = bpe;
-        }
+        simd_level = SimdPolicy::Auto.resolve();
+        simd_speedup = scalar_best / wide_k8_auto;
         eprintln!(
-            "wide n={} k={k} obsmajor: {best:.1} ms ({edges} edges, kernel {}, \
-             graph {:.1} MiB = {bpe:.1} B/edge)",
-            disc.database.num_attrs(),
-            model.kernel_path(),
-            graph_bytes as f64 / (1024.0 * 1024.0),
+            "wide n={n240} k=8 force-scalar: {scalar_best:.1} ms \
+             (simd speedup {simd_speedup:.2}x at level {simd_level})"
         );
-        if !wide_entries.is_empty() {
-            wide_entries.push_str(",\n");
-        }
         write!(
             wide_entries,
-            "    {{\"k\": {k}, \"strategy\": \"wide-obsmajor\", \"millis\": {best:.3}, \
-             \"edges\": {edges}, \"kernel\": \"{}\", \"graph_bytes\": {graph_bytes}, \
-             \"bytes_per_edge\": {bpe:.2}}}",
+            ",\n    {{\"k\": 8, \"strategy\": \"wide-scalar\", \"threads\": 1, \
+             \"millis\": {scalar_best:.3}, \"kernel\": \"{}\", \"simd\": \"scalar\"}}",
             model.kernel_path()
         )
         .expect("writing to a String cannot fail");
         measured.push(Entry {
-            k,
-            strategy: "wide-obsmajor".to_string(),
-            millis: best,
+            k: 8,
+            strategy: "wide-scalar".to_string(),
+            millis: scalar_best,
         });
     }
     let wide_peak = rss_sections.then(peak_rss_bytes).flatten();
@@ -488,8 +601,9 @@ fn main() {
         }
         eprintln!(
             "wide n={n500} k={k} obsmajor ({preset:?}): {best:.1} ms \
-             ({edges} edges, kernel {}, graph {:.1} MiB = {bpe:.1} B/edge)",
+             ({edges} edges, kernel {}, simd {}, graph {:.1} MiB = {bpe:.1} B/edge)",
             model.kernel_path(),
+            model.simd_level(),
             graph_bytes as f64 / (1024.0 * 1024.0),
         );
         if !wide500_entries.is_empty() {
@@ -498,9 +612,10 @@ fn main() {
         write!(
             wide500_entries,
             "    {{\"k\": {k}, \"strategy\": \"wide500-obsmajor\", \"millis\": {best:.3}, \
-             \"edges\": {edges}, \"kernel\": \"{}\", \"graph_bytes\": {graph_bytes}, \
-             \"bytes_per_edge\": {bpe:.2}}}",
-            model.kernel_path()
+             \"edges\": {edges}, \"kernel\": \"{}\", \"simd\": \"{}\", \
+             \"graph_bytes\": {graph_bytes}, \"bytes_per_edge\": {bpe:.2}}}",
+            model.kernel_path(),
+            model.simd_level()
         )
         .expect("writing to a String cannot fail");
         measured.push(Entry {
@@ -528,14 +643,15 @@ fn main() {
             let slide_ms = start.elapsed().as_secs_f64() * 1e3;
             eprintln!(
                 "wide n={n500} k={k} slide: {slide_ms:.1} ms \
-                 (kernel {}, tensor {})",
-                inc_stats.kernel_path, inc_stats.uses_triple_tensor
+                 (kernel {}, simd {}, tensor {})",
+                inc_stats.kernel_path, inc_stats.simd, inc_stats.uses_triple_tensor
             );
             write!(
                 wide500_entries,
                 ",\n    {{\"k\": {k}, \"strategy\": \"wide500-slide\", \
-                 \"millis\": {slide_ms:.3}, \"kernel\": \"{}\", \"tensor\": {}}}",
-                inc_stats.kernel_path, inc_stats.uses_triple_tensor
+                 \"millis\": {slide_ms:.3}, \"kernel\": \"{}\", \"simd\": \"{}\", \
+                 \"tensor\": {}}}",
+                inc_stats.kernel_path, inc_stats.simd, inc_stats.uses_triple_tensor
             )
             .expect("writing to a String cannot fail");
             measured.push(Entry {
@@ -611,9 +727,9 @@ fn main() {
     let fmt_peak = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |v| v.to_string());
     let json = format!(
         "{{\n  \"fixture\": {{\"tickers\": {con_t}, \"days\": {con_d}, \"seed\": {con_s}, \
-         \"gammas\": \"c1\", \"threads\": 1, \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ],\n  \
+         \"gammas\": \"c1\", \"threads\": [1, 4, 8], \"runs\": {RUNS}}},\n  \"construction\": [\n{entries}\n  ],\n  \
          \"incremental\": {{\"window\": {window}, \"days\": {inc_d}, \"slides\": {SLIDES}, \"entries\": [\n{inc_entries}\n  ]}},\n  \
-         \"wide\": {{\"tickers\": {n240}, \"days\": {wide_d}, \"seed\": {wide_s}, \"threads\": 1, \"runs\": {WIDE_RUNS}, \"peak_rss_bytes\": {}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
+         \"wide\": {{\"tickers\": {n240}, \"days\": {wide_d}, \"seed\": {wide_s}, \"threads\": [1, 4, 8], \"runs\": {WIDE_RUNS}, \"simd\": \"{simd_level}\", \"simd_speedup\": {simd_speedup:.3}, \"peak_rss_bytes\": {}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
          \"wide500\": {{\"tickers\": {n500}, \"days\": {w500_d}, \"seed\": {w500_s}, \"threads\": 1, \"runs\": 1, \"gammas\": \"wide-default\", \"peak_rss_bytes\": {}, \"entries\": [\n{wide500_entries}\n  ]}},\n  \
          \"serve\": {{\"tickers\": {}, \"window\": {}, \"days\": {}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}}\n}}\n",
         fmt_peak(wide_peak),
@@ -722,21 +838,29 @@ fn main() {
         }
         // The incremental-slide and batched-advance speedups are
         // same-machine ratios, so they need no hardware calibration:
-        // gate the headline claims directly (slide measured ≥ 13× on the
-        // reference machine, 10× is the committed floor; batch measured
-        // 1.98-2.28× across runs, 1.8× is the floor — a broken batcher
-        // shows ~1×, so the floor still bites while run-to-run wobble
-        // on a ~3 ms measurement doesn't).
-        if k5_speedup < 10.0 {
+        // gate the headline claims directly. The slide ratio's
+        // denominator is a *batch rebuild*, which the SIMD vertical
+        // kernel roughly halved while the incremental path (which
+        // touches only what one observation changes — no dense-row
+        // sweeps to vectorize) stayed flat, so the pre-SIMD ≥ 13×
+        // measurement became 4.4–8.9× across k and runs; 3× is the
+        // committed floor — a broken incremental path shows ~1×, so
+        // the floor still bites while run-to-run wobble on ~1 ms
+        // slides doesn't. The batch ratio's baseline moved the same
+        // way — single slides sped up ~25% while `advance_batch`'s
+        // absolute time stayed put, so the measured 1.98-2.28× became
+        // 1.49-1.65×; 1.3× is the floor (a broken batcher — one that
+        // degenerates to looping single advances — still shows ~1×).
+        if k5_speedup < 3.0 {
             eprintln!(
-                "incremental slide speedup at k=5 is {k5_speedup:.1}x, below the 10x floor"
+                "incremental slide speedup at k=5 is {k5_speedup:.1}x, below the 3x floor"
             );
             std::process::exit(1);
         }
-        if batch_speedup < 1.8 {
+        if batch_speedup < 1.3 {
             eprintln!(
                 "advance_batch({BATCH_DAYS}) speedup at k=3 is {batch_speedup:.2}x, \
-                 below the 1.8x floor"
+                 below the 1.3x floor"
             );
             std::process::exit(1);
         }
@@ -785,6 +909,61 @@ fn main() {
                     top.readers
                 ),
             }
+        }
+        // Parallel-efficiency gate: the wide k=8 build must speed up by
+        // EFFICIENCY_FLOOR from 1 to 4 worker threads. A same-machine
+        // ratio like the serve gate above, and hardware-aware the same
+        // way: below 4 cores the "4 workers" time-slice the same
+        // core(s) and the ratio measures scheduling overhead, so the
+        // gate is skipped (the measured ratio is still logged and lands
+        // in the summary for the record).
+        {
+            let t1 = wide_k8_by_threads[0];
+            let t4 = wide_k8_by_threads[1];
+            if t1.is_finite() && t4.is_finite() && t4 > 0.0 {
+                let efficiency = t1 / t4;
+                if cores >= 4 {
+                    if efficiency < EFFICIENCY_FLOOR {
+                        eprintln!(
+                            "wide k=8 thread scaling 1 -> 4 is {efficiency:.2}x, below \
+                             the {EFFICIENCY_FLOOR:.1}x floor for {cores} cores"
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "wide k=8 thread scaling 1 -> 4: {efficiency:.2}x >= \
+                         {EFFICIENCY_FLOOR:.1}x ({cores} cores)"
+                    );
+                } else {
+                    eprintln!(
+                        "thread-scaling gate skipped: {cores} core(s) < 4 \
+                         (measured {efficiency:.2}x from 1 -> 4 threads)"
+                    );
+                }
+            }
+        }
+        // SIMD gate: the vectorized dense-row kernel must beat the
+        // forced-scalar build by SIMD_FLOOR on the wide k=8 fixture.
+        // Same-run, same-machine ratio — no calibration. Skipped when
+        // runtime detection resolves to the scalar tier (no AVX2/NEON,
+        // or HYPERMINE_FORCE_SCALAR set), where the two builds run the
+        // same code and the ratio is pure noise.
+        if simd_level == SimdLevel::Scalar {
+            eprintln!(
+                "simd speedup gate skipped: runtime detection resolved to the \
+                 scalar tier (measured {simd_speedup:.2}x)"
+            );
+        } else if simd_speedup < SIMD_FLOOR {
+            eprintln!(
+                "wide k=8 simd speedup is {simd_speedup:.2}x at level {simd_level}, \
+                 below the {SIMD_FLOOR:.1}x floor"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "wide k=8 simd speedup: {simd_speedup:.2}x >= {SIMD_FLOOR:.1}x \
+                 (level {simd_level})"
+            );
         }
         // Wide-universe memory gate: growing the attribute set from 240
         // to 500 must not super-linearly inflate per-edge storage. Two
@@ -836,8 +1015,8 @@ fn main() {
         }
         eprintln!(
             "all construction timings within {:.0}% of {path}; \
-             k=5 slide speedup {k5_speedup:.1}x >= 10x; \
-             k=3 batch speedup {batch_speedup:.2}x >= 1.8x",
+             k=5 slide speedup {k5_speedup:.1}x >= 3x; \
+             k=3 batch speedup {batch_speedup:.2}x >= 1.3x",
             args.tolerance * 100.0
         );
     }

@@ -1,6 +1,7 @@
 //! Model-construction configuration.
 
 use crate::counting::KernelPath;
+use crate::simd::SimdPolicy;
 
 /// How the construction sweeps count head-value distributions (see
 /// `crate::counting` for the two implementations, which produce
@@ -182,6 +183,13 @@ pub struct ModelConfig {
     /// bit-identical, so this is a testing/diagnostics knob, not a
     /// tuning knob.
     pub kernel_cap: KernelPath,
+    /// Whether the flat counting kernels may engage the runtime-detected
+    /// SIMD tier (see `crate::simd`): the default [`SimdPolicy::Auto`]
+    /// resolves to AVX2 / NEON where the host supports one,
+    /// [`SimdPolicy::ForceScalar`] pins the portable scalar kernels.
+    /// Every level is bit-identical — like `kernel_cap`, a
+    /// testing/diagnostics knob, not a tuning knob.
+    pub simd: SimdPolicy,
     /// Memory budget for the incremental engine's triple-count tensor in
     /// bytes; `None` uses the built-in 32 MB default. The tensor makes a
     /// slide's pass-2 update a handful of cell pokes per `(pair, head)`;
@@ -205,6 +213,7 @@ impl Default for ModelConfig {
             threads: 0,
             strategy: CountStrategy::Auto,
             kernel_cap: KernelPath::FlatU16,
+            simd: SimdPolicy::default(),
             triple_tensor_max_bytes: None,
         }
     }

@@ -44,6 +44,7 @@ mod mining;
 mod model;
 mod parallel;
 mod rule;
+mod simd;
 mod simgraph;
 mod similarity;
 mod table;
@@ -64,6 +65,7 @@ pub use model::{
     attr_of, node_of, AssociationModel, BuildError, ModelExport, ModelStats, ModelTables,
 };
 pub use rule::{MvaRule, RuleError};
+pub use simd::{SimdLevel, SimdPolicy};
 pub use simgraph::{cluster_attributes, similarity_distance_matrix, AttributeClustering};
 pub use similarity::{in_similarity_graph, out_similarity_graph};
 pub use table::{AssociationTable, AtRow};

@@ -3,6 +3,7 @@
 use crate::builder;
 use crate::config::ModelConfig;
 use crate::counting::{CountingEngine, KernelPath, PairRows};
+use crate::simd::SimdLevel;
 use crate::incremental::AdvanceError;
 use crate::table::AssociationTable;
 use hypermine_data::{AttrId, Database, Value};
@@ -367,6 +368,16 @@ impl AssociationModel {
         )
     }
 
+    /// The SIMD tier ([`SimdLevel`]) the flat counting kernels engage
+    /// under this model's `simd` policy on the current host — `build`
+    /// used it, and every batch-grade recount will. Surfaced next to
+    /// [`AssociationModel::kernel_path`] for the same reason: a binary
+    /// running on hardware without AVX2/NEON (or with the scalar policy
+    /// forced) should report so wherever build times are logged.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.cfg.simd.resolve()
+    }
+
     /// The underlying weighted directed hypergraph (weights are ACVs).
     pub fn hypergraph(&self) -> &DirectedHypergraph {
         &self.graph
@@ -380,9 +391,12 @@ impl AssociationModel {
     /// On-demand association-table access (builds one counting engine; keep
     /// it around when reading many tables).
     pub fn tables(&self) -> ModelTables<'_> {
+        let mut engine = CountingEngine::new(&self.db);
+        engine.restrict_kernel(self.cfg.kernel_cap);
+        engine.set_simd_policy(self.cfg.simd);
         ModelTables {
             model: self,
-            engine: CountingEngine::new(&self.db),
+            engine,
             last_pair: RefCell::new(None),
         }
     }

@@ -24,9 +24,13 @@
 /// both sizes and 4 trailed further — pair-block costs are uneven
 /// enough under the adaptive folds that finer blocks rebalance better,
 /// while the atomic-cursor and result-assembly overhead is still
-/// invisible at this granularity. Rerun
-/// `parallel::tests::block_sizing_measurement` (`--ignored`, release)
-/// before changing this.
+/// invisible at this granularity. Re-measured again after the SIMD
+/// vertical kernel landed (same harness, {8, 16, 32} sweep): 16 still
+/// led at n = 240 (309.6 ms vs 312.6 at 8 and 325.2 at 32) with the
+/// n = 40 builds inside run-to-run noise — the vector tier shrinks
+/// per-block cost but doesn't change where the balance point sits.
+/// Rerun `parallel::tests::block_sizing_measurement` (`--ignored`,
+/// release) before changing this.
 pub(crate) const BLOCKS_PER_THREAD: usize = 16;
 
 /// The shared sizing rule for a work-stealing pass over `len` items on

@@ -95,6 +95,15 @@ impl ObsMatrix {
     pub fn row(&self, o: usize) -> &[Value] {
         &self.codes[o * self.num_attrs..(o + 1) * self.num_attrs]
     }
+
+    /// The whole row-major code matrix (`codes[o * num_attrs + attr]`) —
+    /// the input of the vertical dense-row counting kernel, which walks
+    /// many observations' rows at vector width and needs the backing
+    /// slice rather than one `row` borrow at a time.
+    #[inline]
+    pub fn codes(&self) -> &[Value] {
+        &self.codes
+    }
 }
 
 /// Row-major `m × n` matrix of precomputed counter-slot indices:

@@ -95,14 +95,16 @@ fn parse_args() -> (Scale, u64, Option<String>, CountStrategy) {
 
 /// One line per built model: edge count, the counting-kernel tier the
 /// build engaged (wide universes degrade to `flat_u32` — visibly, not
-/// silently), and the hypergraph's resident bytes.
+/// silently), the SIMD level runtime detection resolved, and the
+/// hypergraph's resident bytes.
 fn log_build(t0: &Instant, name: &str, model: &hypermine_core::AssociationModel) {
     let mem = model.hypergraph().memory();
     println!(
-        "[{:?}] {name} model built: {} edges (kernel {}, graph {:.1} MiB)",
+        "[{:?}] {name} model built: {} edges (kernel {}, simd {}, graph {:.1} MiB)",
         t0.elapsed(),
         model.hypergraph().num_edges(),
         model.kernel_path(),
+        model.simd_level(),
         mem.total_bytes() as f64 / (1024.0 * 1024.0),
     );
 }

@@ -743,6 +743,29 @@ pub static REGISTRY: &[ScenarioSpec] = &[
         },
         runs: &[GammaRun::C1],
     },
+    // Stress shapes compose: [`MarketShape`] (the simulation's
+    // statistics) and [`WindowPolicy`] gaps (the stream's calendar) are
+    // orthogonal axes of a spec, so one scenario can exercise both —
+    // heavy-tailed deltas sliding through a gapped calendar, the
+    // adverse combination neither single-axis stress covers.
+    ScenarioSpec {
+        name: "stress_tails_with_gaps",
+        title: "Stress: heavy-tailed deltas composed with calendar-gap contraction",
+        seed: 41,
+        source: Source::Market {
+            dims: ScaleDims {
+                tiny: MarketDims::sliding(12, 160, 96),
+                default_scale: MarketDims::sliding(40, 504, 252),
+                full: MarketDims::sliding(80, 756, 378),
+            },
+            shape: MarketShape::HeavyTails { df: 3 },
+        },
+        discretizer: DiscretizerSpec::EquiDepthDeltas,
+        windowing: WindowPolicy::Sliding {
+            gaps: Some(GapSchedule { every: 21, len: 3 }),
+        },
+        runs: &[GammaRun::C1],
+    },
 ];
 
 #[cfg(test)]
@@ -778,8 +801,37 @@ mod tests {
             "stress_heavy_tails",
             "stress_regime_shifts",
             "stress_calendar_gaps",
+            "stress_tails_with_gaps",
         ] {
             assert!(find(name).is_some(), "{name} missing from REGISTRY");
+        }
+    }
+
+    /// The composed stress scenario carries both axes at once — a
+    /// non-baseline [`MarketShape`] *and* a gapped sliding window —
+    /// and its simulation actually realizes the shape.
+    #[test]
+    fn stress_shapes_compose_in_one_spec() {
+        let s = find("stress_tails_with_gaps").unwrap();
+        match s.source {
+            Source::Market { shape, .. } => {
+                assert_eq!(shape, MarketShape::HeavyTails { df: 3 });
+            }
+            Source::Inline(_) => panic!("composed stress scenario is market-backed"),
+        }
+        match s.windowing {
+            WindowPolicy::Sliding { gaps: Some(g) } => {
+                assert_eq!(g, GapSchedule { every: 21, len: 3 });
+            }
+            other => panic!("expected gapped sliding windowing, got {other:?}"),
+        }
+        let m = s.simulate(RunScale::Tiny).unwrap();
+        assert_eq!(m.n_days(), 160);
+        assert!(m.crisis_days().is_empty(), "tails are not regimes");
+        // Distinct seed from the single-axis stress scenarios: the
+        // composed run is its own fixture, not a re-read of either.
+        for other in ["stress_heavy_tails", "stress_calendar_gaps"] {
+            assert_ne!(s.seed, find(other).unwrap().seed);
         }
     }
 

@@ -5,6 +5,7 @@
 
 use hypermine::core::{
     AssociationModel, CountStrategy, CountingEngine, HeadCounter, KernelPath, ModelConfig,
+    SimdPolicy,
 };
 use hypermine::data::{AttrId, Database, PairBuckets};
 use proptest::prelude::*;
@@ -317,22 +318,30 @@ fn multi_tile_flat_sweeps_match_naive() {
 /// Columns of the wide kernel-tier fixtures: a correlated family,
 /// shifted copies, a constant column, and two pseudo-random stripes.
 fn wide_fixture_db(n_attrs: usize, n_obs: usize) -> Database {
+    wide_fixture_db_k(n_attrs, n_obs, 3)
+}
+
+/// The same column families at an arbitrary value-domain size `k` —
+/// the SIMD matrix below sweeps k through the vertical kernel's whole
+/// eligibility range and past it (k = 16 declines to the fold tier).
+fn wide_fixture_db_k(n_attrs: usize, n_obs: usize, k: u8) -> Database {
+    let ku = k as usize;
     let cols: Vec<Vec<u8>> = (0..n_attrs)
         .map(|a| {
             (0..n_obs)
                 .map(|o| match a % 5 {
-                    0 => (o % 3 + 1) as u8,
-                    1 => ((o + a / 5) % 3 + 1) as u8,
+                    0 => (o % ku + 1) as u8,
+                    1 => ((o + a / 5) % ku + 1) as u8,
                     2 => 2u8,
-                    3 => ((o * 7 + a * 13) % 3 + 1) as u8,
-                    _ => ((o / 2 + a) % 3 + 1) as u8,
+                    3 => ((o * 7 + a * 13) % ku + 1) as u8,
+                    _ => ((o / 2 + a) % ku + 1) as u8,
                 })
                 .collect()
         })
         .collect();
     Database::from_columns(
         (0..n_attrs).map(|i| format!("A{i}")).collect(),
-        3,
+        k,
         cols,
     )
     .unwrap()
@@ -459,6 +468,120 @@ fn kernel_tiers_agree_at_the_wide_fixture_width() {
             assert_eq!(got, &per_cap[0], "pass 2 pair ({a:?},{b:?}), {cap:?}");
         }
         for (&h, &bits) in probe.iter().zip(&per_cap[0]) {
+            let naive = engines[0].naive_table(&[a, b], h).acv();
+            assert_eq!(bits, naive.to_bits(), "pass 2 ({a:?},{b:?}) -> {h:?}");
+        }
+    }
+}
+
+/// SIMD bit-identity matrix: models built under `SimdPolicy::Auto`
+/// (whatever level runtime detection engages — AVX2, NEON, or scalar)
+/// must be bit-identical to `ForceScalar` builds across both flat
+/// kernel tiers, every thread count the perf tier reports, and a k
+/// sweep spanning the vertical kernel's whole eligibility range
+/// (k ∈ {3, 5, 8}) plus a width past it (k = 16, which declines to the
+/// fold tier — on hosts without AVX2/NEON the two builds run the same
+/// scalar code and the assertion is trivially true, which is exactly
+/// the portable-fallback contract). n = 40 runs the single-head-tile
+/// path, n = 128 the multi-tile one.
+#[test]
+fn simd_policies_are_bit_identical_through_model_builds() {
+    for &(n_attrs, n_obs) in &[(40usize, 60usize), (128, 40)] {
+        for k in [3u8, 5, 8, 16] {
+            let db = wide_fixture_db_k(n_attrs, n_obs, k);
+            let cfg = |cap, simd, threads| ModelConfig {
+                kernel_cap: cap,
+                simd,
+                strategy: CountStrategy::ObsMajor,
+                threads,
+                gamma_edge: 1.3,
+                gamma_hyper: 1.25,
+                ..ModelConfig::default()
+            };
+            for cap in [KernelPath::FlatU16, KernelPath::FlatU32] {
+                let reference =
+                    AssociationModel::build(&db, &cfg(cap, SimdPolicy::ForceScalar, 1))
+                        .unwrap();
+                assert!(
+                    reference.hypergraph().num_edges() > 0,
+                    "n={n_attrs} k={k} fixture keeps some edges"
+                );
+                for threads in [1usize, 4, 8] {
+                    let m = AssociationModel::build(&db, &cfg(cap, SimdPolicy::Auto, threads))
+                        .unwrap();
+                    assert_eq!(m.kernel_path(), cap);
+                    assert_identical(
+                        &m,
+                        &reference,
+                        &format!("n={n_attrs} k={k} {cap:?} Auto x{threads} vs ForceScalar x1"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// n = 500 — the CI wide fixture's width — SIMD-swept at the engine
+/// level (full debug-mode builds at this width cost minutes, as with
+/// the kernel-tier sweep above). The `Auto` engine must agree bit for
+/// bit with the `ForceScalar` engine and with the naive recount on
+/// sampled tails, pairs, and heads spanning both head-tile boundaries.
+#[test]
+fn simd_policies_agree_at_the_wide_fixture_width() {
+    let db = wide_fixture_db(500, 24);
+    let policies = [SimdPolicy::ForceScalar, SimdPolicy::Auto];
+    let engines: Vec<CountingEngine> = policies
+        .iter()
+        .map(|&policy| {
+            let mut e = CountingEngine::new(&db);
+            e.set_simd_policy(policy);
+            e
+        })
+        .collect();
+    let mut counter = HeadCounter::new(db.num_attrs(), db.k());
+    let heads: Vec<AttrId> = [3u32, 77, 250, 499].map(AttrId::new).into();
+    for t in [0u32, 1, 250, 499].map(AttrId::new) {
+        let probe: Vec<AttrId> = heads.iter().copied().filter(|&h| h != t).collect();
+        let mut per_policy = Vec::new();
+        for e in &engines {
+            e.edge_acv_all_heads(t, &mut counter);
+            per_policy.push(
+                probe
+                    .iter()
+                    .map(|&h| counter.acv(h).to_bits())
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        assert_eq!(per_policy[1], per_policy[0], "pass 1 tail {t:?}, Auto vs ForceScalar");
+        for (&h, &bits) in probe.iter().zip(&per_policy[0]) {
+            let naive = engines[0].naive_table(&[t], h).acv();
+            assert_eq!(bits, naive.to_bits(), "pass 1 {t:?} -> {h:?} vs naive");
+        }
+    }
+    let mut buckets = PairBuckets::new();
+    for (a, b) in [(0u32, 1u32), (0, 2), (5, 499), (249, 250)] {
+        let (a, b) = (AttrId::new(a), AttrId::new(b));
+        let probe: Vec<AttrId> = heads
+            .iter()
+            .copied()
+            .filter(|&h| h != a && h != b)
+            .collect();
+        let mut per_policy = Vec::new();
+        for e in &engines {
+            e.bucket_pair(a, b, &mut buckets);
+            e.hyper_acv_all_heads(&buckets, &mut counter);
+            per_policy.push(
+                probe
+                    .iter()
+                    .map(|&h| counter.acv(h).to_bits())
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        assert_eq!(
+            per_policy[1], per_policy[0],
+            "pass 2 pair ({a:?},{b:?}), Auto vs ForceScalar"
+        );
+        for (&h, &bits) in probe.iter().zip(&per_policy[0]) {
             let naive = engines[0].naive_table(&[a, b], h).acv();
             assert_eq!(bits, naive.to_bits(), "pass 2 ({a:?},{b:?}) -> {h:?}");
         }
