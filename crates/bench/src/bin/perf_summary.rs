@@ -23,7 +23,10 @@
 //! and the **serve fixture** (aggregate reader queries/sec against
 //! live epoch-tagged snapshots at 1/4/8 reader threads while the
 //! writer slides the window — the `hypermine-serve` concurrency
-//! story) — so CI can upload it as an artifact. Every timing entry
+//! story), plus a **durability section** (mean publish latency through
+//! the serve host with the observation WAL on vs off — the measured
+//! cost of crash safety, informational rather than gated) — so CI can
+//! upload it as an artifact. Every timing entry
 //! carries the engaged `"kernel"`-style `"simd"` level
 //! (`avx2`/`neon`/`scalar`, see `hypermine_core::SimdLevel`), so a
 //! runner silently losing its vector tier is visible in the artifact.
@@ -86,7 +89,10 @@
 use hypermine_core::{AssociationModel, CountStrategy, GammaPreset, ModelConfig, SimdLevel, SimdPolicy};
 use hypermine_experiments::registry::{find, RunScale, ScenarioSpec};
 use hypermine_market::discretize_market;
-use hypermine_serve::{measure_qps, FeedConfig, MarketFeed, QpsRun, SnapshotSpec};
+use hypermine_serve::{
+    measure_qps, DurabilityOptions, FeedConfig, HostOptions, MarketFeed, ModelServer, QpsRun,
+    ServeHost, SnapshotSpec,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -113,6 +119,12 @@ const MEM_PER_EDGE_LIMIT: f64 = 2.0;
 /// Reader counts and per-count duration for the serve fixture.
 const SERVE_READERS: [usize; 3] = [1, 4, 8];
 const SERVE_MS: u64 = 500;
+
+/// Publishes timed per durability entry (WAL on vs off). Like the serve
+/// entries, these are reported without a `"millis"` key so they stay
+/// out of the calibrated timing gate — the number is informational (the
+/// cost of crash safety), not a gated floor.
+const DURABILITY_SLIDES: usize = 64;
 
 /// Worker-thread counts for the construction and wide240 sections. The
 /// single-thread entry keeps the bare strategy label (so old baselines
@@ -724,6 +736,59 @@ fn main() {
         serve_runs.push(run);
     }
 
+    // Durability section: mean publish latency through the serve host
+    // with the observation WAL on vs off — the measured cost of crash
+    // safety. A queue of 1 makes `advance` effectively synchronous, so
+    // the wall clock over the run is the writer's per-publish work
+    // (apply + snapshot build, plus append on the durable run).
+    let mut durability_entries = String::new();
+    for wal_on in [false, true] {
+        let model = AssociationModel::build(serve_feed.initial(), &serve_model_cfg)
+            .expect("valid gammas");
+        let wal_dir = wal_on.then(|| {
+            std::env::temp_dir().join(format!("hypermine-perf-wal-{}", std::process::id()))
+        });
+        if let Some(dir) = &wal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let host = ServeHost::spawn_with(
+            ModelServer::new(model, serve_spec.clone()),
+            HostOptions {
+                queue: 1,
+                durability: wal_dir.as_ref().map(DurabilityOptions::new),
+                ..HostOptions::default()
+            },
+        )
+        .expect("temp-dir WAL store");
+        let mut feed = MarketFeed::new(&serve_feed_cfg);
+        let start = Instant::now();
+        for _ in 0..DURABILITY_SLIDES {
+            let row = feed.cycle_row().to_vec();
+            assert!(host.advance(row), "writer exited mid-measurement");
+        }
+        let stats = host.shutdown();
+        let micros = start.elapsed().as_secs_f64() * 1e6 / DURABILITY_SLIDES as f64;
+        if let Some(dir) = &wal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        eprintln!(
+            "durability wal={}: {micros:.1} us/publish over {DURABILITY_SLIDES} slides \
+             ({} wal records)",
+            if wal_on { "on" } else { "off" },
+            stats.wal_records
+        );
+        if !durability_entries.is_empty() {
+            durability_entries.push_str(",\n");
+        }
+        write!(
+            durability_entries,
+            "    {{\"wal\": {wal_on}, \"micros_per_publish\": {micros:.1}, \
+             \"slides\": {DURABILITY_SLIDES}, \"wal_records\": {}}}",
+            stats.wal_records
+        )
+        .expect("writing to a String cannot fail");
+    }
+
     let fmt_peak = |p: Option<u64>| p.map_or_else(|| "null".to_string(), |v| v.to_string());
     let json = format!(
         "{{\n  \"fixture\": {{\"tickers\": {con_t}, \"days\": {con_d}, \"seed\": {con_s}, \
@@ -731,7 +796,8 @@ fn main() {
          \"incremental\": {{\"window\": {window}, \"days\": {inc_d}, \"slides\": {SLIDES}, \"entries\": [\n{inc_entries}\n  ]}},\n  \
          \"wide\": {{\"tickers\": {n240}, \"days\": {wide_d}, \"seed\": {wide_s}, \"threads\": [1, 4, 8], \"runs\": {WIDE_RUNS}, \"simd\": \"{simd_level}\", \"simd_speedup\": {simd_speedup:.3}, \"peak_rss_bytes\": {}, \"entries\": [\n{wide_entries}\n  ]}},\n  \
          \"wide500\": {{\"tickers\": {n500}, \"days\": {w500_d}, \"seed\": {w500_s}, \"threads\": 1, \"runs\": 1, \"gammas\": \"wide-default\", \"peak_rss_bytes\": {}, \"entries\": [\n{wide500_entries}\n  ]}},\n  \
-         \"serve\": {{\"tickers\": {}, \"window\": {}, \"days\": {}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}}\n}}\n",
+         \"serve\": {{\"tickers\": {}, \"window\": {}, \"days\": {}, \"k\": {}, \"seed\": {}, \"gammas\": \"c2\", \"duration_ms\": {SERVE_MS}, \"entries\": [\n{serve_entries}\n  ]}},\n  \
+         \"durability\": {{\"slides\": {DURABILITY_SLIDES}, \"entries\": [\n{durability_entries}\n  ]}}\n}}\n",
         fmt_peak(wide_peak),
         fmt_peak(wide500_peak),
         serve_feed_cfg.tickers,

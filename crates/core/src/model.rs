@@ -211,6 +211,24 @@ impl AssociationModel {
         Ok(builder::build(db, cfg))
     }
 
+    /// [`AssociationModel::build`] plus an explicit epoch stamp: rebuilds
+    /// the model over `db` under `cfg` and sets [`AssociationModel::epoch`]
+    /// to `epoch` instead of 0.
+    ///
+    /// This is the recovery constructor for a durable serving layer
+    /// (`hypermine-serve`'s checkpoint + WAL store): a checkpoint captures
+    /// the windowed database, the config, and the epoch; because `advance`
+    /// / `advance_batch` / `retire_oldest` are bit-identical to batch
+    /// rebuilds of the slid window, `restore` + WAL replay reconstructs
+    /// the pre-crash model exactly — same edges, ids, ACVs, *and* epoch
+    /// numbering, so recovered snapshots keep the epoch clock monotone
+    /// across the crash.
+    pub fn restore(db: &Database, cfg: &ModelConfig, epoch: u64) -> Result<Self, BuildError> {
+        let mut model = Self::build(db, cfg)?;
+        model.epoch = epoch;
+        Ok(model)
+    }
+
     /// Slides the model's observation window one step forward: the oldest
     /// observation retires, `new_obs` (one value per attribute, each in
     /// `1..=k`) joins, and the model — kept edges, edge ids, ACVs,

@@ -207,6 +207,18 @@ pub enum WindowPolicy {
         /// Deterministic missing-day schedule, if any.
         gaps: Option<GapSchedule>,
     },
+    /// [`WindowPolicy::Sliding`] run through the durable serving store
+    /// (`hypermine_serve::store`): every advance and retire is WAL-
+    /// logged, and after every `kill_every` applied records the writer
+    /// is killed and the model recovered from the newest checkpoint +
+    /// log tail, asserting bit-identity with the live model before the
+    /// stream continues. Retires ride the same schedule as
+    /// [`WindowPolicy::Sliding`] with no gaps plus a fixed mid-stream
+    /// mix (see the `replication` runner).
+    DurableSliding {
+        /// Applied records between scheduled kill/recover points.
+        kill_every: usize,
+    },
 }
 
 /// How raw values become the discrete `1..=k` domain.
@@ -743,6 +755,22 @@ pub static REGISTRY: &[ScenarioSpec] = &[
         },
         runs: &[GammaRun::C1],
     },
+    ScenarioSpec {
+        name: "stress_crash_recovery",
+        title: "Stress: scheduled writer kills + WAL recovery during live slides",
+        seed: 43,
+        source: Source::Market {
+            dims: ScaleDims {
+                tiny: MarketDims::sliding(12, 160, 96),
+                default_scale: MarketDims::sliding(32, 504, 252),
+                full: MarketDims::sliding(64, 756, 378),
+            },
+            shape: MarketShape::Baseline,
+        },
+        discretizer: DiscretizerSpec::EquiDepthDeltas,
+        windowing: WindowPolicy::DurableSliding { kill_every: 17 },
+        runs: &[GammaRun::C1],
+    },
     // Stress shapes compose: [`MarketShape`] (the simulation's
     // statistics) and [`WindowPolicy`] gaps (the stream's calendar) are
     // orthogonal axes of a spec, so one scenario can exercise both —
@@ -802,6 +830,7 @@ mod tests {
             "stress_regime_shifts",
             "stress_calendar_gaps",
             "stress_tails_with_gaps",
+            "stress_crash_recovery",
         ] {
             assert!(find(name).is_some(), "{name} missing from REGISTRY");
         }
@@ -838,7 +867,8 @@ mod tests {
     #[test]
     fn sliding_scenarios_have_windows_and_room_to_slide() {
         for s in REGISTRY {
-            if let WindowPolicy::Sliding { .. } = s.windowing {
+            if let WindowPolicy::Sliding { .. } | WindowPolicy::DurableSliding { .. } = s.windowing
+            {
                 for scale in [RunScale::Tiny, RunScale::Default, RunScale::Full] {
                     let d = s.dims(scale).expect("sliding scenarios are market-backed");
                     assert!(d.window > 0, "{} has no window at {:?}", s.name, scale);
@@ -850,6 +880,27 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The crash-recovery stress scenario kills often enough to recover
+    /// several times per run at every scale.
+    #[test]
+    fn crash_recovery_scenario_kills_several_times_per_scale() {
+        let s = find("stress_crash_recovery").unwrap();
+        let WindowPolicy::DurableSliding { kill_every } = s.windowing else {
+            panic!("stress_crash_recovery must use DurableSliding");
+        };
+        assert!(kill_every > 0);
+        for scale in [RunScale::Tiny, RunScale::Default, RunScale::Full] {
+            let d = s.dims(scale).expect("market-backed");
+            let records = d.days - 1 - d.window;
+            assert!(
+                records / kill_every >= 3,
+                "{:?} yields only {} kill points",
+                scale,
+                records / kill_every
+            );
         }
     }
 

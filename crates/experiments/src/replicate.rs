@@ -23,6 +23,7 @@ use hypermine_core::{
 use hypermine_data::discretize::{discretize_by, Discretizer, FixedCuts};
 use hypermine_data::{AttrId, Database, StreamEvent, Value, WindowedDatabase};
 use hypermine_market::{calendar, discretize_market, Market};
+use hypermine_serve::store::{self, WalRecord, WalStore};
 
 /// One recorded value, with its rendering pinned down so a summary is
 /// byte-stable across runs and machines.
@@ -539,6 +540,9 @@ fn run_market(spec: &ScenarioSpec, scale: RunScale, summary: &mut ScenarioSummar
         }
         WindowPolicy::HoldoutFinalYear => run_holdout(spec, &market, summary),
         WindowPolicy::Sliding { gaps } => run_sliding(spec, &market, dims.window, gaps, summary),
+        WindowPolicy::DurableSliding { kill_every } => {
+            run_crash_recovery(spec, &market, dims.window, kill_every, summary)
+        }
     }
 }
 
@@ -698,6 +702,154 @@ fn run_sliding(
         section.flag("identical_to_batch_rebuild", identical);
         summary.sections.push(section);
     }
+}
+
+/// The durable streaming runner: the sliding stream runs through a
+/// WAL-backed store, and every `kill_every`-th applied record the
+/// writer is "killed" — the store is dropped mid-stream, the model is
+/// rebuilt from the newest checkpoint plus the log tail, and the
+/// recovered model must be bit-identical to the one that just died.
+/// Serving then resumes *on the recovered model*, so each kill also
+/// proves the post-recovery store is a working continuation, not just a
+/// read-back. Small segments force several checkpoint rotations per
+/// scale, so recovery exercises checkpoint + tail rather than one long
+/// replay.
+fn run_crash_recovery(
+    spec: &ScenarioSpec,
+    market: &Market,
+    window: usize,
+    kill_every: usize,
+    summary: &mut ScenarioSummary,
+) {
+    const SEGMENT_BYTES: u64 = 512;
+    for run in spec.runs {
+        let disc = discretize_market(market, run.k, None);
+        let db = &disc.database;
+        let total = db.num_obs();
+        assert!(window > 1 && window < total, "dims leave room to slide");
+        let cfg = run.model_config(db.num_attrs());
+        let seed_db = db.slice_obs(0..window);
+        let mut model = AssociationModel::build(&seed_db, &cfg).expect("gammas are >= 1");
+
+        let dir = std::env::temp_dir().join(format!(
+            "hypermine-replication-wal-{}-{}-{}",
+            std::process::id(),
+            spec.name,
+            run.label
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Some(WalStore::create(&dir, SEGMENT_BYTES, &model).expect("fresh WAL dir"));
+
+        let mut applied = 0usize;
+        let mut kills = 0usize;
+        let mut retires = 0usize;
+        let mut batches = 0usize;
+        let mut all_identical = true;
+        let row_at = |day: usize| -> Vec<Value> {
+            (0..db.num_attrs())
+                .map(|a| db.value(AttrId::new(a as u32), day))
+                .collect()
+        };
+        let mut day = window;
+        while day < total {
+            // The same command mix the chaos suite uses: mostly single
+            // advances, an occasional two-row batch, an occasional
+            // retire-only contraction.
+            let record = if applied > 0 && applied % 13 == 0 {
+                WalRecord::Retire
+            } else if applied > 0 && applied % 11 == 0 && day + 1 < total {
+                WalRecord::AdvanceBatch(vec![row_at(day), row_at(day + 1)])
+            } else {
+                WalRecord::Advance(row_at(day))
+            };
+            match &record {
+                WalRecord::Advance(row) => {
+                    model.advance(row).expect("validated rows advance");
+                    day += 1;
+                }
+                WalRecord::AdvanceBatch(rows) => {
+                    model.advance_batch(rows).expect("validated rows advance");
+                    day += rows.len();
+                    batches += 1;
+                }
+                WalRecord::Retire => {
+                    model.retire_oldest().expect("window stays non-trivial");
+                    retires += 1;
+                }
+            }
+            // Commit-log order: the record lands only after the model
+            // accepted it, exactly as the serving host does.
+            let s = store.as_mut().expect("store is live between kills");
+            s.append(&record).expect("wal append");
+            s.maybe_rotate(&model).expect("wal rotate");
+            applied += 1;
+
+            if applied % kill_every == 0 || day >= total {
+                // Kill the writer: drop the store handle (the crash),
+                // recover from disk, and demand bit-identity with the
+                // model that was live at the moment of death.
+                drop(store.take());
+                let (recovered, info) = store::recover(&dir).expect("recovery succeeds");
+                let identical = canonical_edges(&recovered) == canonical_edges(&model)
+                    && recovered.stats() == model.stats()
+                    && recovered.epoch() == model.epoch();
+                assert!(
+                    identical,
+                    "{}/{}: recovery diverged from the live model at record {applied}",
+                    spec.name, run.label
+                );
+                assert!(!info.torn_tail, "clean kills leave no torn tail");
+                all_identical &= identical;
+                kills += 1;
+                model = recovered;
+                store = Some(
+                    WalStore::continue_from(&dir, SEGMENT_BYTES, &model, info.seq + 1)
+                        .expect("continuing a recovered store"),
+                );
+            }
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut section = SummarySection::new(format!("run:{}", run.label));
+        section.uint("k", run.k as usize);
+        section.uint("records", applied);
+        section.uint("batches", batches);
+        section.uint("retires", retires);
+        section.uint("kills", kills);
+        section.uint("epoch", model.epoch() as usize);
+        section.uint("final_window", model.database().num_obs());
+        record_model(&mut section, &cfg, &model);
+        record_model_dominator(&mut section, &model);
+        section.flag("recovery_bit_identical_at_every_kill", all_identical);
+        summary.sections.push(section);
+    }
+}
+
+/// The set-cover dominator of a standalone model at the top-40% ACV
+/// threshold — the pinned-summary half of [`record_dominator`], for
+/// runners that have no holdout split to score a classifier against.
+fn record_model_dominator(section: &mut SummarySection, model: &AssociationModel) {
+    let Some(threshold) = model.acv_percentile_threshold(0.4) else {
+        section.flag("dominator_found", false);
+        return;
+    };
+    let filtered = model.filter_by_acv(threshold);
+    let all_nodes: Vec<_> = model.attrs().map(node_of).collect();
+    let result =
+        set_cover_adaptation(filtered.hypergraph(), &all_nodes, &SetCoverOptions::default());
+    let dominator: Vec<AttrId> = result.dominator.iter().map(|&n| attr_of(n)).collect();
+    if dominator.is_empty() {
+        section.flag("dominator_found", false);
+        return;
+    }
+    section.float("acv_threshold_top40", threshold, 6);
+    section.uint("dominator_size", dominator.len());
+    section.float("percent_covered", result.percent_covered(), 4);
+    section.list(
+        "dominator",
+        dominator.iter().map(|&a| model.attr_name(a).to_string()).collect(),
+    );
 }
 
 /// The `(label, k)` pairs of a spec's runs — a convenience for binaries

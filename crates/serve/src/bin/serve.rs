@@ -10,12 +10,21 @@
 //! cargo run --release -p hypermine-serve --bin serve -- \
 //!     --tickers 40 --window 252 --readers 1,4,8 --duration-ms 1000
 //! ```
+//!
+//! With `--wal-dir DIR`, the stream runs through a *durable* host:
+//! every applied observation lands in an append-only WAL under `DIR`
+//! (checkpoint + segments, see `hypermine_serve::store`). After a
+//! crash, `--wal-dir DIR --recover` rebuilds the model from the newest
+//! checkpoint plus the log tail and keeps serving from where the
+//! pre-crash writer left off.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use hypermine_core::ModelConfig;
 use hypermine_serve::{
-    measure_qps, FeedConfig, MarketFeed, ModelServer, SnapshotSpec,
+    measure_qps, DurabilityOptions, FeedConfig, HostOptions, MarketFeed, ModelServer, ServeHost,
+    SnapshotSpec,
 };
 
 struct Args {
@@ -23,6 +32,8 @@ struct Args {
     readers: Vec<usize>,
     duration: Duration,
     inspect: bool,
+    wal_dir: Option<PathBuf>,
+    recover: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +42,8 @@ fn parse_args() -> Args {
         readers: vec![1, 4, 8],
         duration: Duration::from_millis(1000),
         inspect: false,
+        wal_dir: None,
+        recover: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,10 +67,12 @@ fn parse_args() -> Args {
                 args.duration = Duration::from_millis(value("--duration-ms").parse().expect("ms"))
             }
             "--inspect" => args.inspect = true,
+            "--wal-dir" => args.wal_dir = Some(PathBuf::from(value("--wal-dir"))),
+            "--recover" => args.recover = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; flags: --tickers --window --days --k --seed \
-                     --readers a,b,c --duration-ms --inspect"
+                     --readers a,b,c --duration-ms --inspect --wal-dir DIR --recover"
                 );
                 std::process::exit(2);
             }
@@ -115,8 +130,85 @@ fn inspect(feed: &MarketFeed) {
     }
 }
 
+/// Streams the whole feed through `host`, shuts down, and prints what
+/// the writer did (including how much of it is durable).
+fn drain_feed(mut feed: MarketFeed, host: ServeHost) {
+    let mut sent = 0usize;
+    while let Some(row) = feed.next_row() {
+        let row = row.to_vec();
+        if !host.advance(row) {
+            break;
+        }
+        sent += 1;
+    }
+    let mut reader = host.reader();
+    let health = host.health();
+    let stats = host.shutdown();
+    println!(
+        "streamed {sent} observations: {} published, {} rejected, {} wal records, \
+         epoch {}, health {health:?}",
+        stats.published, stats.rejected, stats.wal_records, stats.last_epoch
+    );
+    let snap = reader.load();
+    println!(
+        "serving epoch {} | {} edges over {} obs",
+        snap.epoch(),
+        snap.graph().num_edges(),
+        snap.database().num_obs()
+    );
+}
+
+fn run_durable(feed: MarketFeed, dir: &PathBuf, recover: bool) {
+    let options = HostOptions {
+        queue: 64,
+        durability: Some(DurabilityOptions::new(dir)),
+        ..HostOptions::default()
+    };
+    if recover {
+        let (host, info) = match ServeHost::recover(dir, SnapshotSpec::default(), options) {
+            Ok(recovered) => recovered,
+            Err(e) => {
+                eprintln!("recovery from {} failed: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "recovered from {}: checkpoint seq {} (epoch {}), {} records replayed{}, \
+             resuming at epoch {}",
+            dir.display(),
+            info.seq,
+            info.checkpoint_epoch,
+            info.replayed,
+            if info.torn_tail {
+                ", torn final record discarded"
+            } else {
+                ""
+            },
+            info.epoch
+        );
+        drain_feed(feed, host);
+    } else {
+        let model = hypermine_core::AssociationModel::build(feed.initial(), &model_config())
+            .expect("valid gammas");
+        let host =
+            match ServeHost::spawn_with(ModelServer::new(model, SnapshotSpec::default()), options) {
+                Ok(host) => host,
+                Err(e) => {
+                    eprintln!("creating the WAL store under {} failed: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            };
+        println!("durable host: checkpoint + WAL under {}", dir.display());
+        drain_feed(feed, host);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.recover && args.wal_dir.is_none() {
+        eprintln!("--recover requires --wal-dir DIR");
+        std::process::exit(2);
+    }
     println!(
         "feed: {} tickers, {}-day window, {} days, k = {}, seed {}",
         args.feed.tickers, args.feed.window, args.feed.n_days, args.feed.k, args.feed.seed
@@ -124,6 +216,10 @@ fn main() {
     let feed = MarketFeed::new(&args.feed);
     if args.inspect {
         inspect(&feed);
+        return;
+    }
+    if let Some(dir) = &args.wal_dir {
+        run_durable(feed, dir, args.recover);
         return;
     }
 

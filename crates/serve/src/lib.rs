@@ -29,6 +29,15 @@
 //!   with backpressure. [`throughput::measure_qps`] measures aggregate
 //!   reader queries/sec during live slides — the number the `serve` CLI
 //!   prints and `perf_summary` gates in CI.
+//! - **Crash safety + fault containment.** A durable host persists a
+//!   checksummed checkpoint of the windowed database + config and an
+//!   append-only observation WAL ([`store`]); [`ServeHost::recover`]
+//!   replays checkpoint + log tail into a model bit-identical to the
+//!   pre-crash writer at its last durable record. Writer panics are
+//!   contained per command ([`HostHealth`], [`WriterStats`]), a full
+//!   queue's behavior is a policy ([`OverflowPolicy`]), and a
+//!   deterministic fault-injection harness (`faults`, behind the
+//!   `fault-injection` feature) drives the chaos suite.
 //!
 //! ```
 //! use hypermine_core::{AssociationModel, ModelConfig};
@@ -52,15 +61,23 @@
 //! [`AssociationClassifier`]: hypermine_core::AssociationClassifier
 
 pub mod cell;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod host;
 pub mod sim;
 pub mod snapshot;
+pub mod store;
 pub mod throughput;
 pub mod writer;
 
 pub use cell::{ArcCell, ReaderHandle, SnapshotGuard};
-pub use host::{ServeHost, StreamCmd, WriterStats};
+#[cfg(feature = "fault-injection")]
+pub use faults::FaultPlan;
+pub use host::{
+    DurabilityOptions, HostHealth, HostOptions, OverflowPolicy, ServeHost, StreamCmd, WriterStats,
+};
 pub use sim::{FeedConfig, MarketFeed};
 pub use snapshot::{ModelSnapshot, QueryScratch, SnapshotMemory, SnapshotSpec};
+pub use store::{RecoverError, RecoveryInfo, WalRecord, WalStore};
 pub use throughput::{measure_qps, scaling_runs, QpsRun};
 pub use writer::ModelServer;

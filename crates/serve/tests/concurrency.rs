@@ -18,7 +18,10 @@ use std::sync::Mutex;
 
 use hypermine_core::{AssociationClassifier, AssociationModel, ModelConfig};
 use hypermine_data::{Database, Value};
-use hypermine_serve::{ModelServer, ModelSnapshot, ServeHost, SnapshotSpec, StreamCmd};
+use hypermine_serve::{
+    DurabilityOptions, HostHealth, HostOptions, ModelServer, ModelSnapshot, ServeHost,
+    SnapshotSpec, StreamCmd,
+};
 
 /// Three correlated attributes + one noise attribute, enough structure
 /// for a non-trivial hypergraph and dominator at every window.
@@ -203,4 +206,84 @@ fn host_keeps_epochs_monotone_across_mixed_commands() {
         assert_eq!(stats.last_epoch, 15);
         done.store(true, Ordering::Relaxed);
     });
+}
+
+/// Satellite property for crash recovery: readers created from a
+/// *recovered* host resume exactly where the pre-crash writer left off —
+/// the first load is the recovered epoch, every later load is monotone
+/// and digest-valid, and the final snapshot is bit-identical to a batch
+/// rebuild of its window.
+#[test]
+fn readers_on_a_recovered_host_resume_monotone_digest_valid_epochs() {
+    const WINDOW: usize = 60;
+    const BEFORE_CRASH: usize = 14;
+    const AFTER_RECOVER: usize = 10;
+    let d = stream_db(WINDOW + BEFORE_CRASH + AFTER_RECOVER);
+    let dir = std::env::temp_dir().join(format!(
+        "hypermine-concurrency-recover-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Pre-crash durable host: stream, then drop the host. Recovery only
+    // reads what the WAL holds, so a clean shutdown is incidental.
+    let model = AssociationModel::build(&d.slice_obs(0..WINDOW), &ModelConfig::default()).unwrap();
+    let host = ServeHost::spawn_with(
+        ModelServer::new(model, SnapshotSpec::default()),
+        HostOptions {
+            queue: 4,
+            durability: Some(DurabilityOptions::new(&dir)),
+            ..HostOptions::default()
+        },
+    )
+    .expect("store create");
+    for obs in WINDOW..WINDOW + BEFORE_CRASH {
+        assert!(host.advance(row_at(&d, obs)));
+    }
+    let stats = host.shutdown();
+    assert_eq!(stats.wal_records, BEFORE_CRASH as u64);
+
+    let (host, info) = ServeHost::recover(&dir, SnapshotSpec::default(), HostOptions::queue(4))
+        .expect("recover");
+    assert_eq!(info.epoch, BEFORE_CRASH as u64);
+    assert_eq!(host.health(), HostHealth::Healthy);
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let mut reader = host.reader();
+            let done = &done;
+            s.spawn(move || {
+                // The very first load already serves the recovered epoch.
+                let mut last = reader.load().epoch();
+                assert!(last >= BEFORE_CRASH as u64, "reader saw a pre-crash epoch");
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reader.load();
+                    assert!(snap.epoch() >= last, "epoch regressed after recovery");
+                    assert!(snap.verify_digest(), "torn snapshot from a recovered host");
+                    last = snap.epoch();
+                }
+            });
+        }
+        let mut obs = WINDOW + BEFORE_CRASH;
+        for i in 0..AFTER_RECOVER {
+            if i == AFTER_RECOVER / 2 {
+                assert!(host.send(StreamCmd::Retire));
+            } else {
+                assert!(host.advance(row_at(&d, obs)));
+                obs += 1;
+            }
+        }
+        let mut reader = host.reader();
+        let stats = host.shutdown();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.last_epoch, (BEFORE_CRASH + AFTER_RECOVER) as u64);
+        done.store(true, Ordering::Relaxed);
+        // The stream the recovered host served is bit-identical to a
+        // from-scratch batch rebuild of the final window.
+        let snap = reader.load();
+        assert_eq!(snap.epoch(), (BEFORE_CRASH + AFTER_RECOVER) as u64);
+        assert_snapshot_matches_batch_rebuild(&snap, snap.database());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
